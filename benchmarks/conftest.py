@@ -1,0 +1,36 @@
+"""Shared fixtures for the figure/table reproduction benchmarks.
+
+Reference captures (functional runs with profile logging) are expensive;
+they are created once per session and shared.  Each benchmark file then
+evaluates the analytic projections — which are what pytest-benchmark times —
+and prints the series the corresponding paper figure plots.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import LJBenchmark, ReaxFFBenchmark, SNAPBenchmark
+
+
+@pytest.fixture(scope="session")
+def lj_ref():
+    """LJ melt reference capture (2048 atoms, H100-resident)."""
+    return LJBenchmark(cells=8).reference("H100")
+
+
+@pytest.fixture(scope="session")
+def snap_ref():
+    """SNAP bcc-Ta reference capture (54 atoms, 2J_max = 8)."""
+    return SNAPBenchmark(cells=3, twojmax=8).reference("H100")
+
+
+@pytest.fixture(scope="session")
+def reax_ref():
+    """ReaxFF HNS-like reference capture (450 atoms)."""
+    return ReaxFFBenchmark().reference("H100")
+
+
+def emit(text: str) -> None:
+    """Print a reproduction table with spacing that survives pytest capture."""
+    print("\n" + text + "\n")

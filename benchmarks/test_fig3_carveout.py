@@ -1,0 +1,85 @@
+"""Figure 3: shared-memory carveout sweep on H100.
+
+Forces the carveout (overriding the runtime heuristic, exactly as the paper
+does) for the four top kernels at 1,024,000 atoms and reports performance
+normalized to the default-carveout run:
+
+* ``PairComputeLJCut`` and ``ComputeYi`` rely on automatic L1 caching and
+  lose heavily at the maximum carveout;
+* ``ComputeUi`` and ``ComputeFusedDeidrj`` stage data in shared memory and
+  gain nearly linearly with the carveout (occupancy-proportional);
+* ReaxFF's top kernels move by less than 10% (also checked).
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.bench import format_series
+
+NATOMS = 1_024_000
+CARVEOUTS = [0.0, 0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1.0]
+
+
+def sweep(ref, kernel: str) -> list[tuple[float, float]]:
+    t_default = ref.kernel_time(kernel, "H100", NATOMS)
+    return [
+        (c, t_default / ref.kernel_time(kernel, "H100", NATOMS, carveout=c))
+        for c in CARVEOUTS
+    ]
+
+
+def test_fig3_carveout(lj_ref, snap_ref, reax_ref, benchmark):
+    def run():
+        return {
+            "PairComputeLJCut": sweep(lj_ref, "PairComputeLJCut"),
+            "ComputeUi": sweep(snap_ref, "ComputeUi"),
+            "ComputeYi": sweep(snap_ref, "ComputeYi"),
+            "ComputeFusedDeidrj": sweep(snap_ref, "ComputeFusedDeidrj"),
+        }
+
+    data = benchmark(run)
+    emit(
+        format_series(
+            "carveout",
+            data,
+            title="Figure 3: perf relative to default carveout, H100, "
+            f"{NATOMS:,} atoms",
+        )
+    )
+
+    lj = dict(data["PairComputeLJCut"])
+    yi = dict(data["ComputeYi"])
+    ui = dict(data["ComputeUi"])
+    fused = dict(data["ComputeFusedDeidrj"])
+
+    # L1-reliant kernels lose substantially at the max carveout (paper: ~50%)
+    assert 0.3 < lj[1.0] < 0.8
+    assert 0.2 < yi[1.0] < 0.8
+    # and are best with the whole pool as L1
+    assert lj[0.0] >= lj[1.0] and yi[0.0] >= yi[1.0]
+    # shared-memory kernels scale up with the carveout, peaking at/near max
+    assert ui[0.0] < 0.7 and fused[0.0] < 0.7
+    assert ui[1.0] > 0.95 and fused[1.0] > 0.95
+    # monotone rise for the shared-memory kernels
+    ui_vals = [v for _, v in data["ComputeUi"]]
+    assert all(a <= b + 1e-9 for a, b in zip(ui_vals, ui_vals[1:]))
+
+
+def test_fig3_reaxff_insensitive(reax_ref, benchmark):
+    """The paper found ReaxFF's top kernels move <10% with the carveout."""
+
+    def run():
+        out = {}
+        for kernel in ("ReaxNonbondedForce", "ReaxQEqSparseMatVec", "ReaxTorsionForce"):
+            t_def = reax_ref.kernel_time(kernel, "H100", NATOMS)
+            perf = [
+                t_def / reax_ref.kernel_time(kernel, "H100", NATOMS, carveout=c)
+                for c in CARVEOUTS
+            ]
+            out[kernel] = (min(perf), max(perf))
+        return out
+
+    spans = benchmark(run)
+    for kernel, (lo, hi) in spans.items():
+        assert 0.85 < lo <= hi < 1.18, f"{kernel} moved beyond ~10%: {lo}-{hi}"

@@ -1,0 +1,72 @@
+"""Figure 4: single-H100 throughput saturation for the three case studies.
+
+Normalized performance (atom-steps/s) against atom count.  The paper's
+claims, each asserted below:
+
+* SNAP saturates at much lower atom counts than LJ/ReaxFF — its kernels
+  expose parallelism beyond the particle count (pairs, quantum numbers);
+* LJ and ReaxFF saturate at a similar point (similar exposed parallelism);
+* ReaxFF runs out of HBM before reaching full saturation.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.bench import format_series
+from repro.hardware import get_gpu
+
+ATOM_COUNTS = [1_000, 4_000, 16_000, 64_000, 256_000, 1_000_000, 4_000_000, 16_000_000]
+
+
+def saturation_curve(ref, gpu="H100"):
+    cap = ref.max_atoms(get_gpu(gpu))
+    return [
+        (n, ref.atom_steps_per_second(gpu, n) if n <= cap else None)
+        for n in ATOM_COUNTS
+    ]
+
+
+def half_saturation_point(curve) -> int:
+    """Smallest N reaching half the peak throughput."""
+    values = [(n, v) for n, v in curve if v is not None]
+    peak = max(v for _, v in values)
+    for n, v in values:
+        if v >= 0.5 * peak:
+            return n
+    return values[-1][0]
+
+
+def test_fig4_saturation(lj_ref, snap_ref, reax_ref, benchmark):
+    def run():
+        return {
+            "LJ": saturation_curve(lj_ref),
+            "ReaxFF": saturation_curve(reax_ref),
+            "SNAP": saturation_curve(snap_ref),
+        }
+
+    data = benchmark(run)
+    emit(
+        format_series(
+            "atoms",
+            data,
+            title="Figure 4: atom-steps/s vs atoms, one H100 "
+            "(None = exceeds HBM)",
+        )
+    )
+
+    lj_half = half_saturation_point(data["LJ"])
+    snap_half = half_saturation_point(data["SNAP"])
+    reax_half = half_saturation_point(data["ReaxFF"])
+
+    # SNAP saturates at much lower atom counts than LJ
+    assert snap_half * 8 <= lj_half, (
+        f"SNAP half-saturation {snap_half} should be well below LJ's {lj_half}"
+    )
+    # LJ and ReaxFF saturate at a similar point (within ~4x of each other)
+    assert max(lj_half, reax_half) / min(lj_half, reax_half) <= 4.0
+    # ReaxFF runs out of HBM before the largest sizes
+    assert data["ReaxFF"][-1][1] is None, "ReaxFF should exceed H100 HBM at 16M atoms"
+    assert data["LJ"][-1][1] is not None, "LJ fits at 16M atoms"
+    # throughput ordering at production sizes: LJ >> SNAP per atom-step
+    assert dict(data["LJ"])[1_000_000] > 20 * dict(data["SNAP"])[1_000_000]

@@ -1,0 +1,65 @@
+"""Figure 5: single-GPU performance across vendors and generations.
+
+Speedup over the 36-core Skylake node (running the plain host styles) for
+the paper's workload sizes: LJ at 16M atoms, ReaxFF at 465k, SNAP at 64k.
+AMD MI250X and Intel PVC are one GCD / one stack ("half the GPU"), exactly
+as in the paper.
+
+Shape assertions: per-generation NVIDIA ordering, the V100 -> A100 jump
+exceeding the raw bandwidth ratio (the cache-size story of section 5.1),
+MI300A competitive with H100, and MI250X/PVC in the A100-class band.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.bench import format_table
+from repro.hardware import SKYLAKE_NODE, get_gpu
+
+GPUS = ["V100", "A100", "H100", "GH200", "MI250X", "MI300A", "PVC"]
+WORKLOADS = [("LJ", 16_000_000), ("ReaxFF", 465_000), ("SNAP", 64_000)]
+
+
+def test_fig5_cross_architecture(lj_ref, reax_ref, snap_ref, benchmark):
+    refs = {"LJ": lj_ref, "ReaxFF": reax_ref, "SNAP": snap_ref}
+
+    def run():
+        speedups = {}
+        for gpu in GPUS:
+            spec = get_gpu(gpu)
+            for name, natoms in WORKLOADS:
+                ref = refs[name]
+                cpu_t = ref.step_time(SKYLAKE_NODE, natoms)
+                gpu_t = ref.step_time(spec, natoms)
+                speedups[(gpu, name)] = cpu_t / gpu_t
+        return speedups
+
+    sp = benchmark(run)
+    rows = [
+        [gpu] + [sp[(gpu, name)] for name, _ in WORKLOADS] for gpu in GPUS
+    ]
+    emit(
+        format_table(
+            ["GPU", "LJ (16M)", "ReaxFF (465k)", "SNAP (64k)"],
+            rows,
+            title="Figure 5: speedup over the 36-core Skylake node",
+        )
+    )
+
+    for name, _ in WORKLOADS:
+        # NVIDIA generational ordering
+        assert sp[("V100", name)] < sp[("A100", name)] < sp[("H100", name)]
+        # GH200 at least matches H100 (same FP64/caches, more bandwidth)
+        assert sp[("GH200", name)] >= 0.95 * sp[("H100", name)]
+        # every GPU beats the CPU node
+        for gpu in GPUS:
+            assert sp[(gpu, name)] > 1.0
+
+    # the V100 -> A100 jump exceeds the raw bandwidth ratio (1.67x): cache
+    # growth compounds with the spec bump (section 5.1)
+    lj_jump = sp[("A100", "LJ")] / sp[("V100", "LJ")]
+    assert lj_jump > 1.67, f"V100->A100 LJ jump {lj_jump:.2f} should exceed specs"
+    # MI300A plays in H100's band; MI250X (one GCD) in the A100-or-below band
+    assert sp[("MI300A", "LJ")] > 0.6 * sp[("H100", "LJ")]
+    assert sp[("MI250X", "LJ")] < sp[("A100", "LJ")]

@@ -1,0 +1,50 @@
+"""Table 1: GPU architecture properties.
+
+Regenerates the paper's hardware table from the spec registry — the same
+objects every other benchmark's cost model consumes, so the table doubles
+as a provenance record for the simulated silicon.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.bench import format_table
+from repro.hardware import GPUS
+
+
+def build_table1() -> list[list]:
+    rows = []
+    for key in ["V100", "A100", "H100", "GH200", "MI250X", "MI300A", "PVC"]:
+        g = GPUS[key]
+        if g.unified_cache:
+            cache = f"{g.l1_kb:.0f} kB unified"
+        elif g.l1_kb > 0:
+            cache = f"{g.l1_kb:.0f} + {g.shared_kb:.0f} kB"
+        else:
+            cache = f"n/a + {g.shared_kb:.0f} kB"
+        rows.append(
+            [
+                g.name,
+                f"{g.hbm_bw_tbs:.1f} TB/s",
+                f"{g.hbm_gb:.0f} GB",
+                f"{g.fp64_tflops:.1f} TF",
+                cache,
+            ]
+        )
+    return rows
+
+
+def test_table1_hardware(benchmark):
+    rows = benchmark(build_table1)
+    emit(
+        format_table(
+            ["GPU", "BW", "Capacity", "FP64", "L1 + Shared"],
+            rows,
+            title="Table 1: GPU architecture properties",
+        )
+    )
+    # spot-check the paper's values survived transcription
+    assert rows[2][1] == "3.3 TB/s"  # H100 bandwidth
+    assert rows[4][3] == "24.0 TF"  # MI250X (one GCD) FP64
+    assert rows[6][0].startswith("Intel PVC")

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Project a workload across the exascale machines (the figure 6 study).
+
+A downstream user's question: "I have an N-atom system with potential X —
+which machine, and how many nodes, before strong scaling stops paying?"
+This example answers it with the paper's methodology: capture a small
+functional reference run, rescale its kernel profiles through the hardware
+models, and sweep machines and node counts.
+
+Run:  python examples/exascale_projection.py [natoms] [potential]
+      python examples/exascale_projection.py 8000000 SNAP
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench import (
+    POTENTIAL_BENCHMARKS,
+    format_series,
+    format_table,
+    strong_scaling_curve,
+)
+from repro.bench.scaling import parallel_efficiency
+from repro.hardware import MACHINES, SKYLAKE_NODE, get_gpu
+
+
+def main() -> None:
+    natoms = int(sys.argv[1]) if len(sys.argv) > 1 else 4_000_000
+    pot = sys.argv[2] if len(sys.argv) > 2 else "LJ"
+    if pot not in POTENTIAL_BENCHMARKS:
+        raise SystemExit(f"potential must be one of {sorted(POTENTIAL_BENCHMARKS)}")
+
+    print(f"Capturing a functional {pot} reference run ...")
+    ref = POTENTIAL_BENCHMARKS[pot]().reference("H100")
+    print(f"  reference: {ref.natoms} atoms, "
+          f"{len(ref.profiles)} kernels/step, "
+          f"{ref.mem_per_atom:.0f} B/atom device memory\n")
+
+    # single-device survey (the figure 5 view of this workload)
+    rows = []
+    for name in ("V100", "A100", "H100", "GH200", "MI250X", "MI300A", "PVC"):
+        gpu = get_gpu(name)
+        if natoms > ref.max_atoms(gpu):
+            rows.append([name, None, "exceeds HBM"])
+            continue
+        t = ref.step_time(gpu, natoms)
+        speedup = ref.step_time(SKYLAKE_NODE, natoms) / t
+        rows.append([name, 1e3 * t, f"{speedup:.0f}x vs Skylake node"])
+    print(format_table(
+        ["GPU", "ms/step", "notes"], rows,
+        title=f"{pot} at {natoms:,} atoms, one logical GPU",
+    ))
+
+    # strong-scaling sweep (the figure 6 view)
+    nodes = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024]
+    series = {}
+    sweet_spots = []
+    for mname, machine in MACHINES.items():
+        curve = strong_scaling_curve(ref, machine, natoms, nodes)
+        series[machine.name] = curve
+        eff = parallel_efficiency(curve)
+        # "sweet spot": the largest node count still >= 50% efficient
+        good = [n for n, e in eff if e >= 0.5]
+        if good:
+            steps = dict(curve)[good[-1]]
+            sweet_spots.append([machine.name, good[-1], steps])
+    print()
+    print(format_series("nodes", series,
+                        title=f"{pot} at {natoms:,} atoms: steps/s by machine"))
+    print()
+    print(format_table(
+        ["machine", "nodes @ >=50% efficiency", "steps/s there"],
+        sweet_spots,
+        title="Strong-scaling sweet spots",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Reactive MD of an HNS-like CHNO molecular crystal with ReaxFF-lite.
+
+The paper's ReaxFF benchmark (section 4.2) simulates hexanitrostilbene.
+This example builds the synthetic CHNO analogue, equilibrates charges every
+step with the fused dual-CG QEq solver, runs NVE dynamics, and reports the
+reactive-chemistry diagnostics the kernels are shaped by:
+
+* per-species equilibrated charges (O pulls electrons, H donates);
+* the bonded-network census: bonds, valence triplets, torsion quads, and
+  the quad-candidate acceptance rate (the divergence statistic that
+  motivates the paper's pre-processing kernels);
+* QEq iteration counts and energy conservation.
+
+Run:  python examples/reaxff_hns.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro.reaxff  # noqa: F401  (registers the pair styles)
+from repro.core import Lammps
+from repro.workloads.hns import setup_hns
+
+SYMBOLS = {1: "C", 2: "H", 3: "N", 4: "O"}
+
+
+def main() -> None:
+    lmp = Lammps(device=None, quiet=False)
+    # 3 x 3 x 3 molecular cells = 162 atoms; reduced 5 A cutoff keeps the
+    # example fast (production ReaxFF tapers at 10 A)
+    setup_hns(lmp, 3, 3, 3, pair_style="reaxff cutoff 5.0")
+    lmp.command("neighbor 0.5 bin")
+    lmp.command("thermo 10")
+
+    print(f"HNS-like crystal: {lmp.natoms_total} atoms in a "
+          f"{np.round(lmp.domain.lengths, 1)} A box\n")
+    lmp.command("run 50")
+
+    atom = lmp.atom
+    stats = lmp.pair.last_stats
+    q = atom.q[: atom.nlocal]
+    species = atom.type[: atom.nlocal]
+
+    print("\nEquilibrated charges by species (e):")
+    for t in (1, 2, 3, 4):
+        sel = species == t
+        print(f"  {SYMBOLS[t]}: mean {q[sel].mean():+.3f}   "
+              f"range [{q[sel].min():+.3f}, {q[sel].max():+.3f}]")
+    print(f"  total charge: {q.sum():+.2e} (neutrality enforced by QEq)")
+
+    print("\nBonded-network census:")
+    print(f"  directed bonds        : {stats['nbonds']}")
+    print(f"  valence triplets      : {stats['triplets']}")
+    print(f"  torsion quads         : {stats['quads']} of "
+          f"{stats['quad_candidates']} candidates "
+          f"({100 * stats['quads'] / max(stats['quad_candidates'], 1):.0f}% "
+          "accepted — the sparsity behind section 4.2.1's pre-processing)")
+    print(f"  QEq CG iterations     : {stats['qeq_iterations']} "
+          "(fused dual solve: one matrix stream, two right-hand sides)")
+    print(f"  QEq matrix            : {stats['qeq_nnz']} non-zeros in "
+          f"{stats['qeq_slots']} over-allocated slots")
+
+    # emergent chemistry: molecules are connected components of the
+    # bond-order network (LAMMPS's fix reaxff/species)
+    from repro.reaxff.species import analyze_lammps
+
+    report = analyze_lammps(lmp)
+    print("\nSpecies census (bond-order network):")
+    print(f"  {report.nmolecules} molecules: {report.formula_string()}")
+    print(f"  largest fragment: {report.largest} atoms, "
+          f"{report.nbonds} chemical bonds")
+
+    h = lmp.thermo.history
+    drift = abs(h[-1]["etotal"] - h[0]["etotal"]) / abs(h[0]["etotal"])
+    print(f"\nNVE energy drift over {h[-1].step} steps: {drift:.2e}")
+    assert drift < 1e-3
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""Command-line entry point: the ``lmp`` executable analogue.
+
+Mirrors the LAMMPS binary's common flags::
+
+    python -m repro -in melt.in                      # host run
+    python -m repro -in melt.in -k on -sf kk         # simulated H100, /kk styles
+    python -m repro -in melt.in -k on gpu MI300A -sf kk
+    python -m repro -in melt.in -np 4                # 4 simulated MPI ranks
+    python -m repro -in melt.in -var cells 6 -var temp 1.2
+
+``-var`` values are injected as equal-style variables (usable as ``${name}``
+in the script), ``-k on [gpu <name>]`` selects the simulated device, ``-sf``
+sets the global accelerator suffix, and ``-np`` runs the script across
+simulated MPI ranks in lockstep.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import repro.kspace  # noqa: F401  (register all packages' styles)
+import repro.potentials  # noqa: F401
+import repro.reaxff  # noqa: F401
+import repro.snap  # noqa: F401
+from repro.core import Ensemble, Lammps
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="LAMMPS-KOKKOS reproduction: run an input script on "
+        "simulated exascale hardware.",
+    )
+    p.add_argument("-in", "--input", dest="script", required=True,
+                   help="input script file")
+    p.add_argument("-k", "--kokkos", nargs="*", default=None, metavar="ARG",
+                   help="'on [gpu <name>]' enables the simulated device "
+                   "(default H100); 'off' forces a pure-host build")
+    p.add_argument("-sf", "--suffix", default=None,
+                   help="global accelerator suffix (kk, kk/host, gpu)")
+    p.add_argument("-np", "--nranks", type=int, default=1,
+                   help="simulated MPI ranks (default 1)")
+    p.add_argument("-var", nargs=2, action="append", default=[],
+                   metavar=("NAME", "VALUE"),
+                   help="define an equal-style variable (repeatable)")
+    p.add_argument("-log", "--quiet", action="store_true",
+                   help="suppress thermo output")
+    return p
+
+
+def resolve_device(kokkos_args: list[str] | None) -> str | None:
+    if kokkos_args is None:
+        return None
+    if not kokkos_args or kokkos_args[0] == "off":
+        return None
+    if kokkos_args[0] != "on":
+        raise SystemExit(f"-k expects 'on' or 'off', got {kokkos_args[0]!r}")
+    if len(kokkos_args) >= 3 and kokkos_args[1] == "gpu":
+        return kokkos_args[2]
+    return "H100"
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    device = resolve_device(args.kokkos)
+
+    if args.nranks > 1:
+        target = Ensemble(
+            args.nranks, device=device, suffix=args.suffix, quiet=args.quiet
+        )
+    else:
+        target = Lammps(device=device, suffix=args.suffix, quiet=args.quiet)
+
+    for name, value in args.var:
+        target.commands_string(f"variable {name} equal {value}")
+
+    with open(args.script) as fh:
+        target.commands_string(fh.read())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,32 @@
+"""Benchmark harness: functional reference runs -> cost-model projections.
+
+The pattern behind every figure reproduction (DESIGN.md section 3): run the
+*functional* simulation at a reference size with kernel-profile capture on,
+then rescale the captured per-step profiles to arbitrary atom counts,
+architectures, cache carveouts, and cluster sizes through the
+:mod:`repro.hardware` models.  Workload-derived quantities (neighbors per
+atom, QEq iterations, quad sparsity) therefore come from real runs, not
+hand-waving; only the silicon is analytic.
+"""
+
+from repro.bench.runner import (
+    LJBenchmark,
+    ReaxFFBenchmark,
+    ReferenceRun,
+    SNAPBenchmark,
+    POTENTIAL_BENCHMARKS,
+)
+from repro.bench.scaling import strong_scaling_curve, cluster_step_time
+from repro.bench.reporting import format_table, format_series
+
+__all__ = [
+    "ReferenceRun",
+    "LJBenchmark",
+    "ReaxFFBenchmark",
+    "SNAPBenchmark",
+    "POTENTIAL_BENCHMARKS",
+    "strong_scaling_curve",
+    "cluster_step_time",
+    "format_table",
+    "format_series",
+]

@@ -1,0 +1,59 @@
+"""Plain-text table/series formatting for the benchmark reproductions.
+
+The paper's figures are line plots; the harness prints the underlying
+series as aligned text tables so `pytest benchmarks/ --benchmark-only`
+output doubles as the reproduction record (EXPERIMENTS.md embeds these).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def _fmt(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[Any]], title: str = ""
+) -> str:
+    """Aligned monospace table."""
+    cells = [[_fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[k]) for r in cells)) if cells else len(h)
+        for k, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    series: dict[str, list[tuple[Any, Any]]],
+    title: str = "",
+) -> str:
+    """Multiple (x, y) series merged on x into one table."""
+    xs = sorted({x for pts in series.values() for x, _ in pts}, key=float)
+    headers = [x_label] + list(series)
+    rows = []
+    for x in xs:
+        row: list[Any] = [x]
+        for name in series:
+            val = dict(series[name]).get(x)
+            row.append(val)
+        rows.append(row)
+    return format_table(headers, rows, title=title)

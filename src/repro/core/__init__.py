@@ -1,0 +1,14 @@
+"""The LAMMPS-miniature MD engine (paper section 2).
+
+Importing this package registers the built-in fix and compute styles; pair
+styles register when :mod:`repro.potentials` (and the ReaxFF/SNAP packages)
+are imported — mirroring LAMMPS's optional-package structure, where a style
+exists only if its package was compiled in.
+"""
+
+from repro.core.lammps import Ensemble, Lammps
+from repro.core import fixes_kokkos as _fkk  # noqa: F401  (registers /kk fixes)
+from repro.core import fixes_extra as _fx  # noqa: F401  (thermostats etc.)
+from repro.core import computes_extra as _cx  # noqa: F401  (msd, rdf)
+
+__all__ = ["Lammps", "Ensemble"]

@@ -1,0 +1,244 @@
+"""Ghost-atom communication: borders, forward/reverse comm, migration.
+
+This is LAMMPS's ``CommBrick`` in generator form.  Each communication
+routine is a generator that yields exactly where real MPI would block on a
+receive; the lockstep driver (:func:`repro.parallel.driver.lockstep`)
+advances every rank to the yield, so by the time a rank resumes, its peers'
+sends are in the mailbox.  On one rank the generators simply run to
+completion (every send is a self-send, posted before its receive).
+
+The protocol is the classic 6-swap brick exchange:
+
+* **borders** — for each dimension low/high face in order, send atoms (owned
+  *and previously received ghosts*, which is how diagonal ghosts propagate)
+  within ``cutghost`` of the face; periodic crossings shift coordinates by
+  the box length.  Send lists and ghost segments are recorded for reuse.
+* **forward_comm** — re-send positions over the recorded swaps each step.
+* **reverse_comm** — send ghost forces back along the reversed swaps and
+  accumulate into the owners (``newton on``, section 4.1).
+* **exchange** — migrate owned atoms to their new owners after motion
+  (owner-directed, one phase).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from repro.core.atom import BORDER_FIELDS, AtomVec
+from repro.core.errors import CommError
+from repro.parallel.comm import SimComm
+from repro.parallel.decomp import BrickDecomposition
+
+
+@dataclass
+class Swap:
+    """One recorded border swap, replayed by forward/reverse comm."""
+
+    dim: int
+    dirn: int
+    #: Peer ranks (may equal self for periodic self-sends).
+    send_to: int
+    recv_from: int
+    #: Indices (into local+ghost arrays) of atoms this rank sends.
+    sendlist: np.ndarray
+    #: Coordinate shift applied to sent positions (periodic crossing).
+    shift: np.ndarray
+    #: First ghost slot filled by this swap's receive, and the count.
+    firstrecv: int
+    nrecv: int
+
+
+@dataclass
+class CommBrick:
+    """Per-rank communication engine."""
+
+    comm: SimComm
+    decomp: BrickDecomposition
+    #: Ghost cutoff: force cutoff + neighbor skin.
+    cutghost: float
+    swaps: list[Swap] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.cutghost <= 0.0:
+            raise CommError("ghost cutoff must be positive")
+        lo, hi = self.decomp.subdomain(self.comm.rank)
+        self.sublo = lo
+        self.subhi = hi
+        lengths = np.asarray(self.decomp.boxhi) - np.asarray(self.decomp.boxlo)
+        # One swap per direction covers ghosts up to one subdomain away.
+        if np.any(self.cutghost > lengths):
+            raise CommError(
+                f"ghost cutoff {self.cutghost} exceeds a box length {lengths}; "
+                "images-of-images are not supported"
+            )
+
+    # ------------------------------------------------------------- helpers
+    def _face_peer(self, dim: int, dirn: int) -> tuple[int, np.ndarray, bool]:
+        """Peer rank for a face send, the shift to apply, and validity.
+
+        Returns ``(peer, shift, active)``; ``active`` is False at a
+        non-periodic global boundary.
+        """
+        px = self.decomp.grid
+        ix = list(self.decomp.coords_of(self.comm.rank))
+        at_edge = (dirn < 0 and ix[dim] == 0) or (dirn > 0 and ix[dim] == px[dim] - 1)
+        shift = np.zeros(3)
+        if at_edge:
+            length = self.decomp.boxhi[dim] - self.decomp.boxlo[dim]
+            shift[dim] = length if dirn < 0 else -length
+        ix2 = list(ix)
+        ix2[dim] += dirn
+        peer = self.decomp.rank_of(*ix2)
+        return peer, shift, True
+
+    def _hops(self, dim: int) -> int:
+        """Swaps needed per direction in a dimension (LAMMPS's ``maxneed``).
+
+        When the ghost cutoff exceeds the subdomain width, border atoms must
+        be relayed from ranks more than one hop away: each extra swap
+        forwards the ghosts just received (a bucket brigade, with periodic
+        shifts accumulating naturally in the forwarded coordinates).
+        """
+        sub_len = self.subhi[dim] - self.sublo[dim]
+        need = int(np.ceil(self.cutghost / sub_len - 1e-12))
+        return max(1, min(need, self.decomp.grid[dim]))
+
+    # -------------------------------------------------------------- borders
+    def borders(self, atom: AtomVec, periodic: tuple[bool, bool, bool]) -> Iterator[None]:
+        """Rebuild the ghost shell (generator; one yield per swap)."""
+        atom.clear_ghosts()
+        self.swaps = []
+        for dim in range(3):
+            # Candidates for this dimension's first hop: owned atoms plus
+            # ghosts received in *earlier* dimensions only — including this
+            # dimension's own receives would bounce them straight back as
+            # duplicates.
+            ncand = atom.nall
+            # range of ghost slots received in the previous hop, per dirn
+            prev_range = {-1: None, +1: None}
+            for hop in range(self._hops(dim)):
+                for dirn in (-1, +1):
+                    peer, shift, _ = self._face_peer(dim, dirn)
+                    at_edge = bool(shift[dim])
+                    active = periodic[dim] or not at_edge
+                    if hop == 0:
+                        lo_c, hi_c = 0, ncand
+                    elif prev_range[dirn] is None:
+                        lo_c = hi_c = 0
+                    else:
+                        lo_c, hi_c = prev_range[dirn]
+                    x = atom.x[lo_c:hi_c]
+                    if active and hi_c > lo_c:
+                        if dirn < 0:
+                            mask = x[:, dim] < self.sublo[dim] + self.cutghost
+                        else:
+                            mask = x[:, dim] >= self.subhi[dim] - self.cutghost
+                        sendlist = lo_c + np.flatnonzero(mask)
+                    else:
+                        sendlist = np.zeros(0, dtype=np.int64)
+                    payload = {
+                        name: getattr(atom, name)[sendlist].copy()
+                        for name in BORDER_FIELDS
+                    }
+                    payload["x"] = payload["x"] + shift
+                    tag = ("border", dim, dirn, hop)
+                    self.comm.send(peer, payload, tag)
+                    yield
+                    recv_peer, _, _ = self._face_peer(dim, -dirn)
+                    incoming = self.comm.recv(recv_peer, tag)
+                    firstrecv = atom.nall
+                    n = incoming["x"].shape[0]
+                    if n:
+                        atom.add_ghosts(incoming)
+                    prev_range[dirn] = (firstrecv, firstrecv + n)
+                    self.swaps.append(
+                        Swap(
+                            dim=dim,
+                            dirn=dirn,
+                            send_to=peer,
+                            recv_from=recv_peer,
+                            sendlist=sendlist,
+                            shift=shift,
+                            firstrecv=firstrecv,
+                            nrecv=n,
+                        )
+                    )
+
+    # --------------------------------------------------------- forward comm
+    def forward_comm(self, atom: AtomVec) -> Iterator[None]:
+        """Refresh ghost positions over the recorded swaps (per-step path)."""
+        for k, swap in enumerate(self.swaps):
+            buf = atom.x[swap.sendlist] + swap.shift
+            self.comm.send(swap.send_to, buf, ("fwd", k))
+            yield
+            incoming = self.comm.recv(swap.recv_from, ("fwd", k))
+            if incoming.shape[0] != swap.nrecv:
+                raise CommError(
+                    f"forward comm size changed mid-run: swap {k} expected "
+                    f"{swap.nrecv}, got {incoming.shape[0]}"
+                )
+            atom.x[swap.firstrecv : swap.firstrecv + swap.nrecv] = incoming
+
+    def forward_comm_field(self, atom: AtomVec, name: str) -> Iterator[None]:
+        """Forward-communicate an arbitrary per-atom field (no shift).
+
+        EAM forward-communicates derivative terms between the density and
+        force loops (figure 1's "additional communication").
+        """
+        arr = getattr(atom, name)
+        for k, swap in enumerate(self.swaps):
+            self.comm.send(swap.send_to, arr[swap.sendlist].copy(), ("fwdf", name, k))
+            yield
+            incoming = self.comm.recv(swap.recv_from, ("fwdf", name, k))
+            arr[swap.firstrecv : swap.firstrecv + swap.nrecv] = incoming
+
+    # --------------------------------------------------------- reverse comm
+    def reverse_comm(self, atom: AtomVec, name: str = "f") -> Iterator[None]:
+        """Accumulate ghost contributions back to their owners.
+
+        Runs the swaps in reverse so contributions that landed on a ghost of
+        a ghost retrace both hops (exactly LAMMPS's reverse pass).
+        """
+        arr = getattr(atom, name)
+        for k, swap in reversed(list(enumerate(self.swaps))):
+            buf = arr[swap.firstrecv : swap.firstrecv + swap.nrecv].copy()
+            self.comm.send(swap.recv_from, buf, ("rev", name, k))
+            yield
+            incoming = self.comm.recv(swap.send_to, ("rev", name, k))
+            if swap.sendlist.size:
+                np.add.at(arr, swap.sendlist, incoming)
+
+    # ------------------------------------------------------------ migration
+    def exchange(self, atom: AtomVec, wrap) -> Iterator[None]:
+        """Send owned atoms to their current owners (one phase).
+
+        ``wrap`` maps positions into the primary periodic box first, so
+        owners are computed on canonical coordinates.
+        """
+        atom.clear_ghosts()
+        n = atom.nlocal
+        atom.x[:n] = wrap(atom.x[:n])
+        owners = self.decomp.owner_of(atom.x[:n])
+        fields = {
+            "x": atom.x[:n],
+            "v": atom.v[:n],
+            "type": atom.type[:n],
+            "tag": atom.tag[:n],
+            "q": atom.q[:n],
+        }
+        for dest in range(self.comm.size):
+            sel = owners == dest
+            payload = {k: v[sel].copy() for k, v in fields.items()}
+            self.comm.send(dest, payload, "exchange")
+        yield
+        parts = [self.comm.recv(src, "exchange") for src in range(self.comm.size)]
+        atom.replace_local(
+            x=np.concatenate([p["x"] for p in parts]),
+            v=np.concatenate([p["v"] for p in parts]),
+            types=np.concatenate([p["type"] for p in parts]),
+            tags=np.concatenate([p["tag"] for p in parts]),
+            q=np.concatenate([p["q"] for p in parts]),
+        )

@@ -1,0 +1,125 @@
+"""Additional compute styles: mean-square displacement and RDF.
+
+``compute msd`` tracks per-atom reference positions by tag (robust to
+migration); ``compute rdf`` histograms the current neighbor list.  Both are
+reachable from input scripts and from Python (``lmp.modify.get_compute``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.computes import Compute
+from repro.core.errors import InputError
+from repro.core.styles import register_compute
+
+
+@register_compute("msd")
+class ComputeMSD(Compute):
+    """Mean-square displacement since the compute was defined."""
+
+    nparts = 2  # [sum |dx|^2, count]
+
+    def __init__(self, lmp, compute_id, group, args) -> None:
+        super().__init__(lmp, compute_id, group, args)
+        atom = lmp.require_box()
+        mask = lmp.group_mask(group)
+        idx = np.flatnonzero(mask)
+        self.origin = {
+            int(atom.tag[i]): atom.x[i].copy() for i in idx
+        }
+        #: unwrapped displacement tracking: accumulate against the nearest
+        #: periodic image each evaluation (valid while per-step motion stays
+        #: below half a box length, which MD guarantees)
+        self._last = dict(self.origin)
+        self._unwrapped = {t: np.zeros(3) for t in self.origin}
+
+    def _update_unwrapped(self) -> None:
+        atom = self.lmp.atom
+        dom = self.lmp.domain
+        for i in range(atom.nlocal):
+            t = int(atom.tag[i])
+            if t not in self._last:
+                continue
+            step = dom.minimum_image(atom.x[i] - self._last[t])
+            self._unwrapped[t] += step
+            self._last[t] = atom.x[i].copy()
+
+    def local_partials(self) -> np.ndarray:
+        self._update_unwrapped()
+        atom = self.lmp.atom
+        total = 0.0
+        count = 0
+        present = set(int(t) for t in atom.tag[: atom.nlocal])
+        for t, disp in self._unwrapped.items():
+            if t in present:
+                total += float(disp @ disp)
+                count += 1
+        return np.array([total, float(count)])
+
+    def finalize(self, parts: np.ndarray) -> float:
+        if parts[1] <= 0:
+            raise InputError(f"compute {self.id}: no atoms tracked")
+        return float(parts[0] / parts[1])
+
+
+@register_compute("rdf")
+class ComputeRDF(Compute):
+    """Radial distribution function g(r) from the active neighbor list.
+
+    ``compute ID group rdf <nbins> [rmax]``.  Scalar form returns the first
+    peak height; :meth:`histogram` returns the full ``(r, g)`` arrays.
+    """
+
+    def __init__(self, lmp, compute_id, group, args) -> None:
+        super().__init__(lmp, compute_id, group, args)
+        if not args:
+            raise InputError("compute rdf expects: nbins [rmax]")
+        self.nbins = int(args[0])
+        if self.nbins < 2:
+            raise InputError("compute rdf: nbins must be >= 2")
+        self.rmax = float(args[1]) if len(args) > 1 else 0.0
+
+    @property
+    def nparts(self) -> int:  # type: ignore[override]
+        return self.nbins + 1  # histogram + atom count
+
+    def _edges(self) -> np.ndarray:
+        rmax = self.rmax
+        if rmax <= 0.0:
+            rmax = self.lmp.pair.max_cutoff() if self.lmp.pair else 1.0
+        return np.linspace(0.0, rmax, self.nbins + 1)
+
+    def local_partials(self) -> np.ndarray:
+        lmp = self.lmp
+        atom = lmp.atom
+        nlist = lmp.neigh_list
+        edges = self._edges()
+        hist = np.zeros(self.nbins)
+        if nlist is not None and nlist.total_pairs:
+            i, j = nlist.ij_pairs()
+            dx = atom.x[i] - atom.x[j]
+            r = np.sqrt(np.einsum("ij,ij->i", dx, dx))
+            weight = 1.0 if nlist.style == "half" else 0.5
+            h, _ = np.histogram(r, bins=edges)
+            hist = weight * h
+        return np.concatenate([hist, [float(atom.nlocal)]])
+
+    def histogram(self, parts: np.ndarray | None = None) -> tuple[np.ndarray, np.ndarray]:
+        """``(r_centers, g(r))`` normalized by the ideal-gas shell count."""
+        if parts is None:
+            parts = self.local_partials()
+        hist = parts[: self.nbins]
+        natoms = parts[self.nbins]
+        edges = self._edges()
+        centers = 0.5 * (edges[1:] + edges[:-1])
+        vol = self.lmp.domain.volume
+        density = max(natoms, 1.0) / vol
+        shell = 4.0 / 3.0 * np.pi * (edges[1:] ** 3 - edges[:-1] ** 3)
+        ideal = 0.5 * natoms * density * shell  # pair count in an ideal gas
+        g = np.where(ideal > 0, hist / np.maximum(ideal, 1e-300), 0.0)
+        return centers, g
+
+    def finalize(self, parts: np.ndarray) -> float:
+        _, g = self.histogram(parts)
+        return float(g.max())

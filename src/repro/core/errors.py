@@ -1,0 +1,31 @@
+"""Error hierarchy mirroring LAMMPS's error classes."""
+
+from __future__ import annotations
+
+
+class LammpsError(Exception):
+    """Base class for all engine errors."""
+
+
+class InputError(LammpsError):
+    """Malformed input-script command (LAMMPS's ``Error::all`` on parse)."""
+
+
+class StyleError(LammpsError):
+    """Unknown or incompatible style (pair/fix/compute) request."""
+
+
+class DomainError(LammpsError):
+    """Invalid simulation box or region geometry."""
+
+
+class NeighborError(LammpsError):
+    """Neighbor-list construction failure (e.g. cutoff exceeds subdomain)."""
+
+
+class CommError(LammpsError):
+    """Ghost-atom communication failure (e.g. lost atoms)."""
+
+
+class OverflowGuardError(LammpsError):
+    """A data structure exceeded its index type's range (appendix B)."""

@@ -1,0 +1,188 @@
+"""Additional fix styles: thermostats and force modifiers.
+
+These round out the style catalogue the way LAMMPS's core distribution
+does.  Thermostats that need a temperature use the *rank-local* kinetic
+temperature: exact in single-rank runs; in multi-rank runs each subdomain
+thermostats itself (the difference vanishes statistically, but multi-rank
+trajectories will not be bit-identical to single-rank ones when these
+fixes are active — unlike the deterministic fixes, which are).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.errors import InputError
+from repro.core.fixes import Fix
+from repro.core.styles import register_fix
+
+
+def _local_temperature(lmp, mask: np.ndarray) -> float:
+    atom = lmp.atom
+    units = lmp.update.units
+    m = atom.masses_of()[mask]
+    v = atom.v[: atom.nlocal][mask]
+    n = int(mask.sum())
+    if n == 0:
+        return 0.0
+    dof = max(3.0 * n - 3.0, 1.0)
+    msq = float(np.dot(m, np.einsum("ij,ij->i", v, v)))
+    return units.mvv2e * msq / (dof * units.boltz)
+
+
+@register_fix("nvt")
+class FixNVT(Fix):
+    """Nosé-Hoover thermostat + velocity Verlet (single chain).
+
+    ``fix ID group nvt temp Tstart Tstop Tdamp``.  The thermostat variable
+    integrates ``d(eta_dot)/dt = (T/T_target - 1) / Tdamp^2`` and scales
+    velocities by ``exp(-eta_dot dt/2)`` around each Verlet half-kick —
+    LAMMPS's operator splitting with a chain length of one.
+    """
+
+    def __init__(self, lmp, fix_id, group, args) -> None:
+        super().__init__(lmp, fix_id, group, args)
+        if len(args) != 4 or args[0] != "temp":
+            raise InputError("fix nvt expects: temp Tstart Tstop Tdamp")
+        self.t_start = float(args[1])
+        self.t_stop = float(args[2])
+        self.t_damp = float(args[3])
+        if self.t_damp <= 0 or self.t_start < 0 or self.t_stop < 0:
+            raise InputError("fix nvt: temperatures >= 0, Tdamp > 0 required")
+        self.eta_dot = 0.0
+        self.run_start = 0
+        self.run_length = 1
+
+    def init(self) -> None:
+        self.run_start = self.lmp.update.ntimestep
+
+    def _target(self) -> float:
+        frac = min(
+            max((self.lmp.update.ntimestep - self.run_start) / max(self.run_length, 1), 0.0),
+            1.0,
+        )
+        return self.t_start + (self.t_stop - self.t_start) * frac
+
+    def _thermo_half(self) -> None:
+        lmp = self.lmp
+        mask = self.group_mask()
+        dt2 = 0.5 * lmp.update.dt
+        t_cur = _local_temperature(lmp, mask)
+        target = max(self._target(), 1e-30)
+        self.eta_dot += dt2 * (t_cur / target - 1.0) / self.t_damp**2
+        lmp.atom.v[: lmp.atom.nlocal][mask] *= np.exp(-self.eta_dot * dt2)
+
+    def _half_kick(self, mask) -> None:
+        atom = self.lmp.atom
+        dtf = 0.5 * self.lmp.update.dt * self.lmp.update.units.ftm2v
+        m = atom.masses_of()
+        atom.v[: atom.nlocal][mask] += dtf * atom.f[: atom.nlocal][mask] / m[mask, None]
+
+    def initial_integrate(self) -> None:
+        atom = self.lmp.atom
+        mask = self.group_mask()
+        self._thermo_half()
+        self._half_kick(mask)
+        atom.x[: atom.nlocal][mask] += self.lmp.update.dt * atom.v[: atom.nlocal][mask]
+
+    def final_integrate(self) -> None:
+        mask = self.group_mask()
+        self._half_kick(mask)
+        self._thermo_half()
+
+
+@register_fix("temp/rescale")
+class FixTempRescale(Fix):
+    """Hard velocity rescale toward a target every N steps.
+
+    ``fix ID group temp/rescale N Tstart Tstop window fraction``.
+    """
+
+    def __init__(self, lmp, fix_id, group, args) -> None:
+        super().__init__(lmp, fix_id, group, args)
+        if len(args) != 5:
+            raise InputError(
+                "fix temp/rescale expects: N Tstart Tstop window fraction"
+            )
+        self.every = int(args[0])
+        self.t_start = float(args[1])
+        self.t_stop = float(args[2])
+        self.window = float(args[3])
+        self.fraction = float(args[4])
+        if self.every < 1 or not 0.0 <= self.fraction <= 1.0:
+            raise InputError("fix temp/rescale: N >= 1 and fraction in [0, 1]")
+
+    def end_of_step(self) -> None:
+        lmp = self.lmp
+        if lmp.update.ntimestep % self.every:
+            return
+        mask = self.group_mask()
+        t_cur = _local_temperature(lmp, mask)
+        target = self.t_stop  # constant-target form of the ramp
+        if t_cur <= 0 or abs(t_cur - target) <= self.window:
+            return
+        t_new = t_cur + self.fraction * (target - t_cur)
+        lmp.atom.v[: lmp.atom.nlocal][mask] *= np.sqrt(t_new / t_cur)
+
+
+@register_fix("addforce")
+class FixAddForce(Fix):
+    """Add a constant force to every atom in the group each step."""
+
+    def __init__(self, lmp, fix_id, group, args) -> None:
+        super().__init__(lmp, fix_id, group, args)
+        if len(args) != 3:
+            raise InputError("fix addforce expects: fx fy fz")
+        self.force = np.array([float(a) for a in args])
+
+    def post_force(self) -> None:
+        atom = self.lmp.atom
+        atom.f[: atom.nlocal][self.group_mask()] += self.force
+
+
+@register_fix("viscous")
+class FixViscous(Fix):
+    """Viscous damping: ``F -= gamma v`` (energy drain, e.g. for quenches)."""
+
+    def __init__(self, lmp, fix_id, group, args) -> None:
+        super().__init__(lmp, fix_id, group, args)
+        if len(args) != 1:
+            raise InputError("fix viscous expects: gamma")
+        self.gamma = float(args[0])
+        if self.gamma < 0:
+            raise InputError("fix viscous: gamma must be >= 0")
+
+    def post_force(self) -> None:
+        atom = self.lmp.atom
+        mask = self.group_mask()
+        atom.f[: atom.nlocal][mask] -= self.gamma * atom.v[: atom.nlocal][mask]
+
+
+@register_fix("spring/self")
+class FixSpringSelf(Fix):
+    """Tether every group atom to its position at fix creation."""
+
+    def __init__(self, lmp, fix_id, group, args) -> None:
+        super().__init__(lmp, fix_id, group, args)
+        if len(args) != 1:
+            raise InputError("fix spring/self expects: k")
+        self.k = float(args[0])
+        if self.k < 0:
+            raise InputError("fix spring/self: k must be >= 0")
+        atom = lmp.require_box()
+        #: anchors keyed by tag, robust to migration/reordering
+        self.anchors = {
+            int(t): atom.x[i].copy()
+            for i, t in enumerate(atom.tag[: atom.nlocal])
+        }
+
+    def post_force(self) -> None:
+        atom = self.lmp.atom
+        mask = self.group_mask()
+        idx = np.flatnonzero(mask)
+        if not idx.size:
+            return
+        tags = atom.tag[idx]
+        anchors = np.array([self.anchors[int(t)] for t in tags])
+        dx = self.lmp.domain.minimum_image(atom.x[idx] - anchors)
+        atom.f[idx] -= self.k * dx

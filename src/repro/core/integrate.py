@@ -1,0 +1,92 @@
+"""The Verlet integration driver (LAMMPS's ``Verlet`` run style).
+
+``setup_gen``/``run_gen`` are generators so multi-rank runs can be advanced
+in lockstep (see :mod:`repro.parallel.driver`); the per-step phase order is
+LAMMPS's:
+
+1. ``initial_integrate`` fixes (first Verlet half-kick + drift);
+2. either a neighbor-list rebuild cycle (migrate -> borders -> build) or a
+   cheap forward communication of ghost positions;
+3. force computation (pair style), then ``post_force`` fixes;
+4. reverse communication of ghost forces when Newton's third law is on;
+5. ``final_integrate`` fixes (second half-kick), ``end_of_step`` fixes;
+6. thermo output on its interval.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.core.errors import LammpsError
+
+
+class Verlet:
+    """Integration loop bound to one Lammps instance."""
+
+    def __init__(self, lmp) -> None:
+        self.lmp = lmp
+
+    # ------------------------------------------------------------- setup
+    def setup_gen(self) -> Iterator[None]:
+        lmp = self.lmp
+        if lmp.pair is None:
+            raise LammpsError("no pair style defined before run")
+        lmp.pair.init()
+        lmp.modify.init()
+        yield from lmp.count_atoms_gen()
+        yield from lmp.rebuild_gen()
+        yield from self.force_cycle()
+        yield from lmp.thermo.output_gen(force=True)
+        lmp.write_dumps(force=True)
+
+    # -------------------------------------------------------------- force
+    def force_cycle(self) -> Iterator[None]:
+        lmp = self.lmp
+        lmp.atom.zero_forces()
+        lmp.mark_host_writes("f")
+        if hasattr(lmp.pair, "compute_gen"):
+            # Styles with mid-compute communication (EAM's fp exchange,
+            # ReaxFF's QEq) run as generators.
+            yield from lmp.pair.compute_gen(eflag=True, vflag=True)
+        else:
+            lmp.pair.compute(eflag=True, vflag=True)
+        if lmp.kspace is not None:
+            # reciprocal-space contribution (KSPACE package)
+            yield from lmp.kspace.compute_gen(eflag=True, vflag=True)
+        lmp.sync_host_fields("f")
+        # LAMMPS order: ghost forces return to their owners *before*
+        # post-force fixes run, so fixes see complete forces.
+        if lmp.pair.needs_reverse_comm:
+            yield from lmp.comm_brick.reverse_comm(lmp.atom, "f")
+        lmp.modify.post_force()
+        lmp.mark_host_writes("f")
+
+    # ---------------------------------------------------------------- run
+    def run_gen(self, nsteps: int) -> Iterator[None]:
+        lmp = self.lmp
+        if nsteps < 0:
+            raise LammpsError("negative step count")
+        yield from self.setup_gen()
+        for _ in range(nsteps):
+            lmp.update.ntimestep += 1
+            lmp.modify.initial_integrate()
+            lmp.mark_host_writes("x", "v")
+            # The rebuild decision is collective (LAMMPS allreduces the
+            # check-distance flag): every rank must take the same branch or
+            # the communication phases misalign.
+            local_flag = lmp.neighbor.decide(
+                lmp.update.ntimestep, lmp.atom.x[: lmp.atom.nlocal]
+            )
+            key = ("rebuild", lmp.update.ntimestep)
+            lmp.world.reduce_contribute(key, float(local_flag))
+            yield
+            if lmp.world.reduce_result(key) > 0.0:
+                yield from lmp.rebuild_gen()
+            else:
+                yield from lmp.comm_brick.forward_comm(lmp.atom)
+            lmp.mark_host_writes("x")
+            yield from self.force_cycle()
+            lmp.modify.final_integrate()
+            lmp.modify.end_of_step()
+            yield from lmp.thermo.output_gen()
+            lmp.write_dumps()

@@ -1,0 +1,251 @@
+"""Data files and trajectory dumps (``read_data`` / ``write_data`` / ``dump``).
+
+Paper section 2.1 names ``read_data`` as the canonical immediate command —
+"reading an atomic structure from a file".  The format here is the LAMMPS
+data-file dialect restricted to what the engine models: header counts,
+orthogonal box bounds, ``Masses``, ``Atoms`` (``atomic`` or ``charge``
+style), and ``Velocities``.
+
+Trajectory output follows ``dump custom``: a LAMMPS-format dump file with a
+selectable column list, written every N steps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.errors import InputError
+
+
+# --------------------------------------------------------------- data files
+def write_data(lmp, path: str) -> None:
+    """Write the current (single-rank) state as a LAMMPS data file."""
+    if lmp.comm_size != 1:
+        raise InputError(
+            "write_data gathers global state; use Ensemble.write_data for "
+            "multi-rank runs"
+        )
+    atom = lmp.require_box()
+    n = atom.nlocal
+    order = np.argsort(atom.tag[:n])
+    lo, hi = lmp.domain.boxlo, lmp.domain.boxhi
+    has_charge = bool(np.any(atom.q[:n] != 0.0))
+    style = "charge" if has_charge else "atomic"
+    with open(path, "w") as fh:
+        fh.write(f"LAMMPS data file via repro, units {lmp.update.units.name}\n\n")
+        fh.write(f"{n} atoms\n{atom.ntypes} atom types\n\n")
+        fh.write(f"{lo[0]:.10g} {hi[0]:.10g} xlo xhi\n")
+        fh.write(f"{lo[1]:.10g} {hi[1]:.10g} ylo yhi\n")
+        fh.write(f"{lo[2]:.10g} {hi[2]:.10g} zlo zhi\n\n")
+        fh.write("Masses\n\n")
+        for t in range(1, atom.ntypes + 1):
+            fh.write(f"{t} {atom.mass[t]:.10g}\n")
+        fh.write(f"\nAtoms # {style}\n\n")
+        for k in order:
+            tag, typ = atom.tag[k], atom.type[k]
+            x, y, z = atom.x[k]
+            if has_charge:
+                fh.write(f"{tag} {typ} {atom.q[k]:.10g} {x:.10g} {y:.10g} {z:.10g}\n")
+            else:
+                fh.write(f"{tag} {typ} {x:.10g} {y:.10g} {z:.10g}\n")
+        fh.write("\nVelocities\n\n")
+        for k in order:
+            vx, vy, vz = atom.v[k]
+            fh.write(f"{atom.tag[k]} {vx:.10g} {vy:.10g} {vz:.10g}\n")
+
+
+@dataclass
+class DataFile:
+    """Parsed contents of a LAMMPS data file."""
+
+    natoms: int
+    ntypes: int
+    boxlo: np.ndarray
+    boxhi: np.ndarray
+    masses: np.ndarray  # (ntypes + 1,)
+    tags: np.ndarray
+    types: np.ndarray
+    x: np.ndarray
+    q: np.ndarray
+    v: np.ndarray
+
+
+def parse_data(path: str) -> DataFile:
+    """Parse the supported data-file subset with diagnostics on malformation."""
+    with open(path) as fh:
+        raw = fh.read().splitlines()
+    lines = [ln.split("#", 1)[0].rstrip() for ln in raw]
+
+    natoms = ntypes = None
+    boxlo = np.zeros(3)
+    boxhi = np.ones(3)
+    k = 1  # skip the title line
+    sections: dict[str, list[str]] = {}
+    current: str | None = None
+    for ln in lines[1:]:
+        s = ln.strip()
+        if not s:
+            continue
+        toks = s.split()
+        if s.endswith("atoms") and len(toks) == 2:
+            natoms = int(toks[0])
+        elif s.endswith("atom types"):
+            ntypes = int(toks[0])
+        elif len(toks) == 4 and toks[2] in ("xlo", "ylo", "zlo"):
+            d = "xyz".index(toks[2][0])
+            boxlo[d], boxhi[d] = float(toks[0]), float(toks[1])
+        elif toks[0] in ("Masses", "Atoms", "Velocities"):
+            current = toks[0]
+            sections[current] = []
+        elif current is not None:
+            sections[current].append(s)
+        else:
+            raise InputError(f"data file: unrecognized header line {s!r}")
+
+    if natoms is None or ntypes is None:
+        raise InputError("data file: missing 'atoms' or 'atom types' header")
+    if "Atoms" not in sections:
+        raise InputError("data file: no Atoms section")
+
+    masses = np.ones(ntypes + 1)
+    for s in sections.get("Masses", []):
+        toks = s.split()
+        t = int(toks[0])
+        if not 1 <= t <= ntypes:
+            raise InputError(f"data file: mass for type {t} out of range")
+        masses[t] = float(toks[1])
+
+    rows = [s.split() for s in sections["Atoms"]]
+    if len(rows) != natoms:
+        raise InputError(
+            f"data file: Atoms section has {len(rows)} rows, header says {natoms}"
+        )
+    width = len(rows[0])
+    if width not in (5, 6):
+        raise InputError("data file: Atoms rows must be 'id type [q] x y z'")
+    arr = np.asarray(rows, dtype=float)
+    tags = arr[:, 0].astype(np.int64)
+    types = arr[:, 1].astype(np.int32)
+    if types.min() < 1 or types.max() > ntypes:
+        raise InputError("data file: atom type out of range")
+    if width == 6:
+        q = arr[:, 2]
+        x = arr[:, 3:6]
+    else:
+        q = np.zeros(natoms)
+        x = arr[:, 2:5]
+
+    v = np.zeros((natoms, 3))
+    if "Velocities" in sections:
+        vrows = np.asarray([s.split() for s in sections["Velocities"]], dtype=float)
+        idx = vrows[:, 0].astype(np.int64)
+        order = np.argsort(tags)
+        pos = order[np.searchsorted(tags[order], idx)]
+        v[pos] = vrows[:, 1:4]
+
+    return DataFile(
+        natoms=natoms, ntypes=ntypes, boxlo=boxlo, boxhi=boxhi,
+        masses=masses, tags=tags, types=types, x=x, q=q, v=v,
+    )
+
+
+def read_data(lmp, path: str) -> None:
+    """Create the box and populate atoms from a data file."""
+    data = parse_data(path)
+    from repro.core.domain import BlockRegion
+
+    lmp.create_box(data.ntypes, BlockRegion.create(data.boxlo, data.boxhi))
+    atom = lmp.atom
+    atom.mass[:] = data.masses
+    # keep the file's tags: sort by tag, then owner-filter like create_atoms
+    order = np.argsort(data.tags)
+    x = lmp.domain.wrap(data.x[order])
+    owners = lmp.decomp.owner_of(x)
+    mine = owners == lmp.comm_rank
+    atom.add_local(x[mine], types=data.types[order][mine], tags=data.tags[order][mine])
+    sel = np.flatnonzero(mine)
+    atom.q[: atom.nlocal] = data.q[order][sel]
+    atom.v[: atom.nlocal] = data.v[order][sel]
+    lmp.natoms_total += data.natoms
+
+
+# --------------------------------------------------------------------- dumps
+#: supported dump custom columns -> extractor(atom, mask)
+_DUMP_COLUMNS = {
+    "id": lambda a, m: a.tag[: a.nlocal][m],
+    "type": lambda a, m: a.type[: a.nlocal][m],
+    "x": lambda a, m: a.x[: a.nlocal, 0][m],
+    "y": lambda a, m: a.x[: a.nlocal, 1][m],
+    "z": lambda a, m: a.x[: a.nlocal, 2][m],
+    "vx": lambda a, m: a.v[: a.nlocal, 0][m],
+    "vy": lambda a, m: a.v[: a.nlocal, 1][m],
+    "vz": lambda a, m: a.v[: a.nlocal, 2][m],
+    "fx": lambda a, m: a.f[: a.nlocal, 0][m],
+    "fy": lambda a, m: a.f[: a.nlocal, 1][m],
+    "fz": lambda a, m: a.f[: a.nlocal, 2][m],
+    "q": lambda a, m: a.q[: a.nlocal][m],
+}
+
+
+@dataclass
+class Dump:
+    """A ``dump ID group custom N file cols...`` writer."""
+
+    lmp: object
+    dump_id: str
+    group: str
+    every: int
+    path: str
+    columns: tuple[str, ...]
+    frames_written: int = 0
+    _fh: object = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.every < 1:
+            raise InputError(f"dump {self.dump_id}: N must be >= 1")
+        bad = [c for c in self.columns if c not in _DUMP_COLUMNS]
+        if bad:
+            raise InputError(
+                f"dump {self.dump_id}: unknown columns {bad}; "
+                f"known: {sorted(_DUMP_COLUMNS)}"
+            )
+        path = self.path
+        if self.lmp.comm_size > 1:
+            path = f"{path}.rank{self.lmp.comm_rank}"
+        self._fh = open(path, "w")
+
+    def maybe_write(self, force: bool = False) -> None:
+        step = self.lmp.update.ntimestep
+        if not force and step % self.every:
+            return
+        atom = self.lmp.atom
+        mask = self.lmp.group_mask(self.group)
+        n = int(mask.sum())
+        lo, hi = self.lmp.domain.boxlo, self.lmp.domain.boxhi
+        fh = self._fh
+        fh.write("ITEM: TIMESTEP\n")
+        fh.write(f"{step}\n")
+        fh.write("ITEM: NUMBER OF ATOMS\n")
+        fh.write(f"{n}\n")
+        fh.write("ITEM: BOX BOUNDS pp pp pp\n")
+        for d in range(3):
+            fh.write(f"{lo[d]:.10g} {hi[d]:.10g}\n")
+        fh.write("ITEM: ATOMS " + " ".join(self.columns) + "\n")
+        cols = [_DUMP_COLUMNS[c](atom, mask) for c in self.columns]
+        for row in zip(*cols):
+            fh.write(
+                " ".join(
+                    str(int(v)) if np.issubdtype(type(v), np.integer) else f"{v:.8g}"
+                    for v in row
+                )
+                + "\n"
+            )
+        fh.flush()
+        self.frames_written += 1
+
+    def close(self) -> None:
+        if self._fh:
+            self._fh.close()
+            self._fh = None

@@ -1,0 +1,282 @@
+"""Binned neighbor lists: half/full styles, newton on/off (paper section 4.1).
+
+LAMMPS builds Verlet lists by binning atoms into cells no smaller than the
+interaction cutoff and scanning the 27-cell stencil.  Ghost atoms are
+explicit (appended by the border communication), so no minimum-image math
+appears here — exactly like LAMMPS.
+
+Two list styles:
+
+* **full** — every neighbor of every owned atom appears; the force of ``i``
+  on ``k`` is computed separately from ``k`` on ``i``.  No write conflicts,
+  duplicated work; the GPU-friendly default for cheap pair styles.
+* **half** — each pair appears exactly once, exploiting Newton's third law.
+  Local pairs keep ``i < j``; pairs with a ghost are kept by a coordinate
+  tie-break so exactly one of the two images survives.  With ``newton on``
+  the ghost's force is reverse-communicated to its owner; with ``newton
+  off`` both ranks compute the pair and each updates only its own atom.
+
+Storage is CSR: 64-bit row offsets with 32-bit neighbor indices — the exact
+integer-width split the paper's appendix B arrives at for exascale-size
+allocations.  A padded 2-D View (atoms x maxneigh) is also available, whose
+layout flips between CPU (rows contiguous) and GPU (interleaved) as in
+section 4.1's data-layout discussion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import NeighborError, OverflowGuardError
+from repro.kokkos.core import ExecutionSpace, Host
+from repro.kokkos.view import View
+
+#: Expansion chunk: bounds peak memory of the candidate-pair blow-up.
+_CHUNK_ATOMS = 65536
+
+
+@dataclass
+class NeighborList:
+    """CSR neighbor list over owned atoms."""
+
+    #: "half" or "full".
+    style: str
+    newton: bool
+    cutoff: float
+    nlocal: int
+    #: Row offsets, length nlocal+1, int64 (appendix B: these are the
+    #: structures that overflow 32 bits at exascale).
+    first: np.ndarray
+    #: Flat neighbor indices into the local+ghost arrays, int32.
+    neighbors: np.ndarray
+
+    @property
+    def numneigh(self) -> np.ndarray:
+        return np.diff(self.first)
+
+    @property
+    def total_pairs(self) -> int:
+        return int(self.first[-1])
+
+    @property
+    def mean_neighbors(self) -> float:
+        return self.total_pairs / max(self.nlocal, 1)
+
+    def neighbors_of(self, i: int) -> np.ndarray:
+        return self.neighbors[self.first[i] : self.first[i + 1]]
+
+    def ij_pairs(self) -> tuple[np.ndarray, np.ndarray]:
+        """Flat ``(i, j)`` arrays covering every stored (i, neighbor) entry."""
+        i = np.repeat(np.arange(self.nlocal), self.numneigh)
+        return i, self.neighbors.astype(np.int64)
+
+    def as_padded_view(self, space: ExecutionSpace = Host) -> View:
+        """Padded 2-D (nlocal, maxneigh) View in a space's natural layout.
+
+        On Host the row for one atom is contiguous (cache-friendly serial
+        traversal); on Device the first index is fastest so consecutive
+        threads read consecutive addresses (coalescing) — the "transparent
+        data layout adjustment" of section 4.1.
+        """
+        maxn = int(self.numneigh.max()) if self.nlocal else 0
+        view = View((self.nlocal, maxn), dtype=np.int32, space=space, label="neigh2d")
+        view.data[...] = -1
+        i, j = self.ij_pairs()
+        col = np.concatenate([np.arange(n) for n in self.numneigh]) if self.nlocal else np.zeros(0, int)
+        view.data[i, col] = j.astype(np.int32)
+        return view
+
+
+def _bin_index(x: np.ndarray, origin: np.ndarray, nbins: np.ndarray, inv_size: np.ndarray) -> np.ndarray:
+    cell = ((x - origin) * inv_size).astype(np.int64)
+    np.clip(cell, 0, nbins - 1, out=cell)
+    return cell[:, 0] + nbins[0] * (cell[:, 1] + nbins[1] * cell[:, 2])
+
+
+def build_neighbor_list(
+    x: np.ndarray,
+    nlocal: int,
+    cutoff: float,
+    *,
+    style: str = "full",
+    newton: bool = False,
+    chunk: int = _CHUNK_ATOMS,
+) -> NeighborList:
+    """Build a neighbor list over ``x`` (owned atoms first, then ghosts).
+
+    ``x`` must already include the ghost shell out to ``cutoff`` — the
+    caller (border communication) guarantees any atom within the cutoff of
+    an owned atom is present.
+    """
+    if style not in ("half", "full"):
+        raise NeighborError(f"unknown neighbor list style {style!r}")
+    if cutoff <= 0.0:
+        raise NeighborError("cutoff must be positive")
+    x = np.asarray(x, dtype=float)
+    nall = x.shape[0]
+    if not 0 <= nlocal <= nall:
+        raise NeighborError(f"nlocal {nlocal} outside [0, {nall}]")
+    if nall > np.iinfo(np.int32).max:
+        raise OverflowGuardError(
+            "local+ghost atom count exceeds 32-bit neighbor index range; "
+            "this build models appendix B's int32 column indices"
+        )
+    if nlocal == 0:
+        return NeighborList(style, newton, cutoff, 0, np.zeros(1, np.int64), np.zeros(0, np.int32))
+
+    origin = x.min(axis=0) - 1e-9
+    top = x.max(axis=0) + 1e-9
+    span = np.maximum(top - origin, cutoff)
+    nbins = np.maximum((span / cutoff).astype(np.int64), 1)
+    size = span / nbins
+    inv_size = 1.0 / size
+    nbins_total = int(np.prod(nbins))
+
+    binid = _bin_index(x, origin, nbins, inv_size)
+    order = np.argsort(binid, kind="stable")
+    sorted_bins = binid[order]
+    counts = np.bincount(sorted_bins, minlength=nbins_total)
+    starts = np.zeros(nbins_total + 1, dtype=np.int64)
+    np.cumsum(counts, out=starts[1:])
+
+    # 27-cell stencil offsets in linear bin space, guarded at grid edges by
+    # working in 3-D coordinates.
+    cell3 = ((x - origin) * inv_size).astype(np.int64)
+    np.clip(cell3, 0, nbins - 1, out=cell3)
+    offsets = np.array(
+        [(dx, dy, dz) for dz in (-1, 0, 1) for dy in (-1, 0, 1) for dx in (-1, 0, 1)],
+        dtype=np.int64,
+    )
+
+    cutsq = cutoff * cutoff
+    rows_i: list[np.ndarray] = []
+    rows_j: list[np.ndarray] = []
+
+    for lo in range(0, nlocal, chunk):
+        hi = min(lo + chunk, nlocal)
+        ilocal = np.arange(lo, hi)
+        ci = cell3[ilocal]  # (m, 3)
+        chunk_i: list[np.ndarray] = []
+        chunk_j: list[np.ndarray] = []
+        for off in offsets:
+            nb3 = ci + off
+            valid = np.all((nb3 >= 0) & (nb3 < nbins), axis=1)
+            if not valid.any():
+                continue
+            iv = ilocal[valid]
+            nb = nb3[valid]
+            nbin = nb[:, 0] + nbins[0] * (nb[:, 1] + nbins[1] * nb[:, 2])
+            cnt = counts[nbin]
+            nz = cnt > 0
+            if not nz.any():
+                continue
+            iv, nbin, cnt = iv[nz], nbin[nz], cnt[nz]
+            total = int(cnt.sum())
+            csum = np.zeros(len(cnt), dtype=np.int64)
+            np.cumsum(cnt[:-1], out=csum[1:])
+            within = np.arange(total, dtype=np.int64) - np.repeat(csum, cnt)
+            j = order[np.repeat(starts[nbin], cnt) + within]
+            i = np.repeat(iv, cnt)
+            dx = x[i] - x[j]
+            rsq = np.einsum("ij,ij->i", dx, dx)
+            keep = (rsq < cutsq) & (i != j)
+            chunk_i.append(i[keep])
+            chunk_j.append(j[keep])
+        if chunk_i:
+            rows_i.append(np.concatenate(chunk_i))
+            rows_j.append(np.concatenate(chunk_j))
+
+    if rows_i:
+        ii = np.concatenate(rows_i)
+        jj = np.concatenate(rows_j)
+    else:
+        ii = np.zeros(0, dtype=np.int64)
+        jj = np.zeros(0, dtype=np.int64)
+
+    if style == "half":
+        local_j = jj < nlocal
+        keep_local = local_j & (jj > ii)
+        gj = ~local_j
+        if newton:
+            # Newton on: each physical pair once globally.  Ghost pairs use
+            # LAMMPS's coordinate tie-break so exactly one of the two images
+            # (across ranks or across the periodic wrap) survives; the ghost
+            # side's force is reverse-communicated to the owner.
+            xi, xj = x[ii[gj]], x[jj[gj]]
+            zgt = xj[:, 2] > xi[:, 2]
+            zeq = xj[:, 2] == xi[:, 2]
+            ygt = xj[:, 1] > xi[:, 1]
+            yeq = xj[:, 1] == xi[:, 1]
+            xgt = xj[:, 0] > xi[:, 0]
+            keep_ghost = zgt | (zeq & (ygt | (yeq & xgt)))
+        else:
+            # Newton off: every rank keeps its side of a ghost pair — each
+            # atom's force is accumulated entirely locally and the pair
+            # energy is tallied at half weight on each side.
+            keep_ghost = np.ones(int(gj.sum()), dtype=bool)
+        keep = np.zeros(len(ii), dtype=bool)
+        keep[np.flatnonzero(local_j)[keep_local[local_j]]] = True
+        keep[np.flatnonzero(gj)[keep_ghost]] = True
+        ii, jj = ii[keep], jj[keep]
+
+    sorter = np.argsort(ii, kind="stable")
+    ii, jj = ii[sorter], jj[sorter]
+    numneigh = np.bincount(ii, minlength=nlocal)
+    first = np.zeros(nlocal + 1, dtype=np.int64)
+    np.cumsum(numneigh, out=first[1:])
+    return NeighborList(style, newton, cutoff, nlocal, first, jj.astype(np.int32))
+
+
+def brute_force_pairs(x: np.ndarray, nlocal: int, cutoff: float) -> set[tuple[int, int]]:
+    """O(n^2) reference: all (i local, j != i) pairs within cutoff.
+
+    Test oracle for the binned builder.
+    """
+    x = np.asarray(x, dtype=float)
+    out: set[tuple[int, int]] = set()
+    cutsq = cutoff * cutoff
+    for i in range(nlocal):
+        d = x - x[i]
+        rsq = np.einsum("ij,ij->i", d, d)
+        for j in np.flatnonzero(rsq < cutsq):
+            if j != i:
+                out.add((i, int(j)))
+    return out
+
+
+@dataclass
+class Neighbor:
+    """Rebuild policy manager (LAMMPS's ``neighbor``/``neigh_modify``)."""
+
+    skin: float
+    every: int = 1
+    delay: int = 0
+    #: Rebuild only when an atom moved further than skin/2 since last build.
+    check: bool = True
+    last_build_x: np.ndarray | None = None
+    last_build_step: int = -1
+    builds: int = 0
+    dangerous: int = 0
+
+    def decide(self, step: int, x_local: np.ndarray) -> bool:
+        """Whether the neighbor list must be rebuilt this step."""
+        if self.last_build_x is None:
+            return True
+        if step - self.last_build_step < self.delay:
+            return False
+        if self.every > 1 and (step - self.last_build_step) % self.every:
+            return False
+        if not self.check:
+            return True
+        if x_local.shape != self.last_build_x.shape:
+            return True
+        disp = x_local - self.last_build_x
+        max_sq = float(np.max(np.einsum("ij,ij->i", disp, disp))) if len(disp) else 0.0
+        return max_sq > (0.5 * self.skin) ** 2
+
+    def record_build(self, step: int, x_local: np.ndarray) -> None:
+        self.last_build_x = x_local.copy()
+        self.last_build_step = step
+        self.builds += 1

@@ -1,0 +1,88 @@
+"""Style registries and accelerator-suffix resolution (paper sections 2-3).
+
+LAMMPS maps input-script command names to C++ classes through registries
+populated by macros in each style's header.  Accelerator packages register
+*replacement* styles under the same name plus a package suffix (``/kk`` for
+KOKKOS), and a global ``suffix`` setting makes the parser try the suffixed
+name first — so ``pair_style lj/cut`` silently becomes ``lj/cut/kk`` when
+the user asked for Kokkos acceleration, without losing access to styles that
+have no accelerated variant (section 3.1).
+
+``/kk`` is an alias of ``/kk/device``; ``/kk/host`` requests the host
+instantiation of the same Kokkos style (section 3.3's dual-instantiation).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TypeVar
+
+from repro.core.errors import StyleError
+
+T = TypeVar("T", bound=type)
+
+PAIR_STYLES: dict[str, type] = {}
+FIX_STYLES: dict[str, type] = {}
+COMPUTE_STYLES: dict[str, type] = {}
+
+_REGISTRIES = {
+    "pair": PAIR_STYLES,
+    "fix": FIX_STYLES,
+    "compute": COMPUTE_STYLES,
+}
+
+
+def _register(registry: dict[str, type], name: str) -> Callable[[T], T]:
+    def deco(cls: T) -> T:
+        if name in registry:
+            raise StyleError(f"duplicate style registration: {name!r}")
+        registry[name] = cls
+        cls.style_name = name  # type: ignore[attr-defined]
+        return cls
+
+    return deco
+
+
+def register_pair(name: str) -> Callable[[T], T]:
+    """Class decorator registering a pair style (the LAMMPS macro analogue)."""
+    return _register(PAIR_STYLES, name)
+
+
+def register_fix(name: str) -> Callable[[T], T]:
+    return _register(FIX_STYLES, name)
+
+
+def register_compute(name: str) -> Callable[[T], T]:
+    return _register(COMPUTE_STYLES, name)
+
+
+def resolve_style(
+    category: str, name: str, suffix: str | None
+) -> tuple[type, dict]:
+    """Resolve a style name, honoring the active suffix.
+
+    Returns ``(cls, extra_kwargs)``.  ``/kk/host`` resolves to the ``/kk``
+    registration with ``execution_space="host"`` passed through, mirroring
+    the dual-instantiation of Kokkos styles.
+    """
+    registry = _REGISTRIES.get(category)
+    if registry is None:
+        raise StyleError(f"unknown style category {category!r}")
+
+    candidates: list[tuple[str, dict]] = []
+    if name.endswith("/kk/host"):
+        candidates.append((name[: -len("/host")], {"execution_space": "host"}))
+    elif name.endswith("/kk/device"):
+        candidates.append((name[: -len("/device")], {}))
+    elif suffix:
+        if suffix == "kk/host":
+            candidates.append((f"{name}/kk", {"execution_space": "host"}))
+        else:
+            candidates.append((f"{name}/{suffix}", {}))
+    candidates.append((name, {}))
+
+    for candidate, extra in candidates:
+        cls = registry.get(candidate)
+        if cls is not None:
+            return cls, extra
+    known = ", ".join(sorted(registry)) or "(none registered)"
+    raise StyleError(f"unknown {category} style {name!r}; known: {known}")

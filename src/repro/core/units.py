@@ -1,0 +1,63 @@
+"""Unit systems (LAMMPS ``units`` command).
+
+Three of LAMMPS's unit styles, enough for the paper's three case studies:
+
+* ``lj``    — reduced units; the Lennard-Jones melt benchmark.
+* ``metal`` — Å / ps / eV / g·mol⁻¹; EAM and SNAP benchmarks.
+* ``real``  — Å / fs / kcal·mol⁻¹ / g·mol⁻¹; the ReaxFF HNS benchmark.
+
+Constants follow LAMMPS's ``update.cpp`` values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class UnitSystem:
+    name: str
+    #: Boltzmann constant in energy units per K.
+    boltz: float
+    #: Converts mass * velocity^2 to energy units.
+    mvv2e: float
+    #: Coulomb constant: energy = qqr2e * q1 * q2 / r.
+    qqr2e: float
+    #: Default timestep in time units.
+    dt: float
+    #: Default neighbor skin in length units.
+    skin: float
+
+    @property
+    def ftm2v(self) -> float:
+        """Converts force/mass to velocity change per time unit."""
+        return 1.0 / self.mvv2e
+
+
+UNIT_SYSTEMS: dict[str, UnitSystem] = {
+    "lj": UnitSystem(name="lj", boltz=1.0, mvv2e=1.0, qqr2e=1.0, dt=0.005, skin=0.3),
+    "metal": UnitSystem(
+        name="metal",
+        boltz=8.617333262e-5,
+        mvv2e=1.0364269e-4,
+        qqr2e=14.399645,
+        dt=0.001,
+        skin=2.0,
+    ),
+    "real": UnitSystem(
+        name="real",
+        boltz=0.0019872067,
+        mvv2e=2390.0573615334906,  # (g/mol)(A/fs)^2 -> kcal/mol (48.88821291^2)
+        qqr2e=332.06371,
+        dt=1.0,
+        skin=2.0,
+    ),
+}
+
+
+def get_units(name: str) -> UnitSystem:
+    if name not in UNIT_SYSTEMS:
+        raise KeyError(
+            f"unknown units {name!r}; available: {', '.join(sorted(UNIT_SYSTEMS))}"
+        )
+    return UNIT_SYSTEMS[name]

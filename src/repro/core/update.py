@@ -1,0 +1,25 @@
+"""Timestep bookkeeping (LAMMPS's ``Update``)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.units import UnitSystem, get_units
+
+
+@dataclass
+class Update:
+    """Current step, timestep size, and the active unit system."""
+
+    units: UnitSystem
+    ntimestep: int = 0
+    dt: float = 0.0
+
+    @classmethod
+    def create(cls, unit_name: str = "lj") -> "Update":
+        units = get_units(unit_name)
+        return cls(units=units, dt=units.dt)
+
+    def set_units(self, unit_name: str) -> None:
+        self.units = get_units(unit_name)
+        self.dt = self.units.dt

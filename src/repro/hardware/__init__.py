@@ -1,0 +1,41 @@
+"""Hardware performance models substituting for real exascale silicon.
+
+The paper's evaluation runs on NVIDIA V100/A100/H100/GH200, AMD MI250X/MI300A,
+and Intel PVC GPUs, wired into Slingshot-11 or NDR-400 fabrics.  None of that
+hardware is available here, so this package provides the substitution layer
+described in DESIGN.md section 1: architecture descriptions built from the
+paper's own Table 1 (plus public microarchitecture parameters), an analytic
+roofline-plus-latency kernel cost model, an L1/shared-memory cache model with
+NVIDIA's dynamic carveout, and alpha-beta network models for the machines in
+the scaling studies.
+
+Every Kokkos-style kernel in :mod:`repro.kokkos` declares a
+:class:`~repro.hardware.cost.KernelProfile`; dispatching the kernel both runs
+its NumPy implementation and charges simulated device time computed by
+:class:`~repro.hardware.cost.KernelCostModel` to the active
+:class:`~repro.hardware.cost.DeviceTimeline`.
+"""
+
+from repro.hardware.gpu import GPUSpec, GPUS, get_gpu
+from repro.hardware.cpu import CPUSpec, SKYLAKE_NODE
+from repro.hardware.cache import CacheConfig
+from repro.hardware.cost import KernelProfile, KernelCostModel, DeviceTimeline
+from repro.hardware.network import NetworkSpec, NETWORKS
+from repro.hardware.machine import MachineSpec, MACHINES, get_machine
+
+__all__ = [
+    "GPUSpec",
+    "GPUS",
+    "get_gpu",
+    "CPUSpec",
+    "SKYLAKE_NODE",
+    "CacheConfig",
+    "KernelProfile",
+    "KernelCostModel",
+    "DeviceTimeline",
+    "NetworkSpec",
+    "NETWORKS",
+    "MachineSpec",
+    "MACHINES",
+    "get_machine",
+]

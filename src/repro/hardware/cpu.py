@@ -1,0 +1,49 @@
+"""CPU node description.
+
+Figure 5 of the paper normalizes every GPU result by a 36-core Intel Skylake
+node running the base (non-Kokkos) MPI LAMMPS code.  We model that node with
+the same roofline vocabulary as the GPUs so the normalization is
+apples-to-apples inside the cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CPUSpec:
+    """A multi-core CPU node used as the normalization baseline."""
+
+    name: str
+    cores: int
+    #: Sustained FP64 throughput, TFLOP/s (node aggregate, AVX-512 derated
+    #: for the frequency drop and non-FMA instruction mix typical of MD).
+    fp64_tflops: float
+    #: Sustained memory bandwidth, TB/s (node aggregate, STREAM-like).
+    mem_bw_tbs: float
+    #: Last-level cache capacity, MB (node aggregate).
+    llc_mb: float
+    #: Per-core L1+L2 capacity, kB — neighbor-list traversal working sets
+    #: on CPUs live here.
+    core_cache_kb: float
+    #: Effective per-"kernel" dispatch overhead, microseconds.  CPUs do not
+    #: launch kernels; this captures loop-entry and OpenMP-style fork/join
+    #: costs and is intentionally tiny.
+    launch_latency_us: float = 0.3
+
+    @property
+    def max_threads(self) -> int:
+        """One MPI rank per core, the common LAMMPS CPU configuration."""
+        return self.cores
+
+
+#: 2 x 18-core Intel Xeon Skylake node, the Figure 5 baseline.
+SKYLAKE_NODE = CPUSpec(
+    name="Intel Skylake 36-core node",
+    cores=36,
+    fp64_tflops=1.4,  # AVX-512 peak; per-kernel efficiency factors derate it
+    mem_bw_tbs=0.20,
+    llc_mb=50.0,
+    core_cache_kb=1088.0,  # 32 kB L1D + 1 MB L2
+)

@@ -1,0 +1,257 @@
+"""GPU architecture descriptions (paper Table 1, extended).
+
+The first five columns reproduce Table 1 of the paper verbatim: HBM bandwidth
+and capacity, FP64 throughput (excluding matrix units), and the L1 +
+software-managed shared-memory ("LDS"/"SLM") capacities.  As in the paper,
+AMD MI250X and Intel PVC entries describe a *single logical GPU* (one GCD or
+one stack), not the full package.
+
+The remaining fields are microarchitectural parameters the cost model needs
+and which the paper discusses qualitatively: unified-cache carveout
+flexibility (NVIDIA only, section 4.4), thread-atomic throughput (section
+4.1's full-vs-half neighbor-list discussion), kernel launch latency (appendix
+C's Alps-vs-Eos analysis), L2 capacity/bandwidth (appendix C.1: LJ is L2
+throughput limited on GH200), and the available hardware concurrency
+(section 5.1: "now exceed 200,000 simultaneously active threads").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """One logical GPU (a GCD for MI250X, a stack for PVC).
+
+    Units are chosen so arithmetic stays readable: bandwidths in TB/s,
+    throughputs in TFLOP/s, capacities in GB/MB/kB as labeled, latencies in
+    microseconds.
+    """
+
+    name: str
+    vendor: str
+    #: HBM bandwidth, TB/s (Table 1 "BW").
+    hbm_bw_tbs: float
+    #: HBM capacity, GB (Table 1 "Capacity").
+    hbm_gb: float
+    #: FP64 vector throughput, TFLOP/s (Table 1 "FP64").
+    fp64_tflops: float
+    #: Hardware-managed L1 capacity per SM/CU/Xe-core, kB.  For NVIDIA this
+    #: is the *unified* capacity shared with shared memory (carveout splits
+    #: it); for AMD/Intel it is the fixed L1 size (0 where "n/a").
+    l1_kb: float
+    #: Software-managed scratch (shared memory / LDS / SLM) per SM/CU, kB.
+    #: For NVIDIA this is the maximum carveout of the unified capacity.
+    shared_kb: float
+    #: True when L1 and shared memory share one configurable pool (NVIDIA).
+    unified_cache: bool
+    #: Default shared-memory carveout fraction the runtime heuristic picks
+    #: for a kernel with moderate scratch use (NVIDIA only; fixed otherwise).
+    default_carveout: float
+    #: Number of SMs / CUs / Xe-cores.
+    sm_count: int
+    #: Maximum resident threads per SM/CU.
+    threads_per_sm: int
+    #: SIMD width the scheduler issues (warp / wavefront / sub-group).
+    warp_size: int
+    #: Device-wide FP64 atomic-add throughput for *conflict-free* (well
+    #: distributed) atomics, Gop/s — bounded by L2 atomic units.  Kernels
+    #: with conflicting destinations apply their own serialization factor.
+    atomic_gops: float
+    #: Aggregate L1 / shared-memory bandwidth, TB/s (L1-throughput-limited
+    #: kernels such as SNAP's ComputeYi are bounded by this).
+    l1_bw_tbs: float
+    #: L2 (or last-level on-die cache) capacity, MB.
+    l2_mb: float
+    #: L2 bandwidth, TB/s.
+    l2_bw_tbs: float
+    #: Kernel launch latency, microseconds.
+    launch_latency_us: float
+    #: Work items at which throughput reaches half of peak (thread-starvation
+    #: Hill constant, see DESIGN.md section 3).  Roughly a fraction of the
+    #: maximum concurrent thread count.
+    saturation_half: float = field(default=0.0)
+
+    @property
+    def max_threads(self) -> int:
+        """Maximum simultaneously active threads on the device."""
+        return self.sm_count * self.threads_per_sm
+
+    @property
+    def hbm_bytes(self) -> float:
+        """HBM capacity in bytes."""
+        return self.hbm_gb * 1e9
+
+    def cache_split(self, carveout: float | None = None) -> tuple[float, float]:
+        """Return ``(l1_kb, shared_kb)`` for a given shared-memory carveout.
+
+        ``carveout`` is the fraction of the unified pool reserved for shared
+        memory (CUDA's "shared memory carveout").  On architectures without a
+        unified pool the request is ignored and the fixed split is returned,
+        mirroring how a carveout hint is a no-op outside NVIDIA hardware.
+        """
+        if not self.unified_cache:
+            return self.l1_kb, self.shared_kb
+        if carveout is None:
+            carveout = self.default_carveout
+        carveout = min(max(carveout, 0.0), 1.0)
+        total = self.l1_kb  # unified pool size
+        # Hopper always retains a small L1 slice even at max carveout
+        # (256 kB pool -> 32 kB minimum L1, matching section 4.4's "leaves
+        # only 32kB for L1").
+        l1 = max(total * (1.0 - carveout), total * 0.125)
+        shared = total - l1
+        return l1, shared
+
+    def __post_init__(self) -> None:
+        if self.saturation_half <= 0.0:
+            # Default: half-saturation at ~1/3 of peak concurrency.
+            object.__setattr__(self, "saturation_half", self.max_threads / 3.0)
+
+
+def _nvidia(name: str, **kw) -> GPUSpec:
+    kw.setdefault("vendor", "NVIDIA")
+    kw.setdefault("unified_cache", True)
+    kw.setdefault("warp_size", 32)
+    return GPUSpec(name=name, **kw)
+
+
+#: Registry of the architectures in Table 1.  Dictionary keys are the short
+#: names used throughout the benchmarks.
+GPUS: dict[str, GPUSpec] = {
+    "V100": _nvidia(
+        "NVIDIA V100",
+        hbm_bw_tbs=0.9,
+        hbm_gb=16.0,
+        fp64_tflops=7.8,
+        l1_kb=128.0,
+        shared_kb=96.0,
+        default_carveout=0.5,
+        sm_count=80,
+        threads_per_sm=2048,
+        atomic_gops=120.0,
+        l1_bw_tbs=10.0,
+        l2_mb=6.0,
+        l2_bw_tbs=2.2,
+        launch_latency_us=4.0,
+    ),
+    "A100": _nvidia(
+        "NVIDIA A100",
+        hbm_bw_tbs=1.5,
+        hbm_gb=40.0,
+        fp64_tflops=9.7,
+        l1_kb=192.0,
+        shared_kb=164.0,
+        default_carveout=0.5,
+        sm_count=108,
+        threads_per_sm=2048,
+        atomic_gops=350.0,
+        l1_bw_tbs=19.0,
+        l2_mb=40.0,
+        l2_bw_tbs=4.5,
+        launch_latency_us=3.5,
+    ),
+    "H100": _nvidia(
+        "NVIDIA H100",
+        hbm_bw_tbs=3.3,
+        hbm_gb=80.0,
+        fp64_tflops=34.0,
+        l1_kb=256.0,
+        shared_kb=228.0,
+        default_carveout=0.5,
+        sm_count=132,
+        threads_per_sm=2048,
+        atomic_gops=1000.0,
+        l1_bw_tbs=30.0,
+        l2_mb=50.0,
+        l2_bw_tbs=7.5,
+        launch_latency_us=3.0,
+    ),
+    "GH200": _nvidia(
+        "NVIDIA GH200",
+        hbm_bw_tbs=4.0,
+        hbm_gb=96.0,
+        fp64_tflops=34.0,
+        l1_kb=256.0,
+        shared_kb=228.0,
+        default_carveout=0.5,
+        sm_count=132,
+        threads_per_sm=2048,
+        atomic_gops=1000.0,
+        l1_bw_tbs=30.0,
+        # Appendix C: 20% higher L2 capacity (60 MiB) and commensurately
+        # higher L2 throughput than H100.
+        l2_mb=60.0,
+        l2_bw_tbs=9.0,
+        # Appendix C.1: "higher launch latencies on GH200".
+        launch_latency_us=5.5,
+    ),
+    "MI250X": GPUSpec(
+        name="AMD MI250X (1 GCD)",
+        vendor="AMD",
+        hbm_bw_tbs=1.6,
+        hbm_gb=64.0,
+        fp64_tflops=24.0,
+        l1_kb=16.0,
+        shared_kb=64.0,
+        unified_cache=False,
+        default_carveout=0.0,
+        sm_count=110,
+        threads_per_sm=2048,
+        warp_size=64,
+        atomic_gops=140.0,
+        l1_bw_tbs=11.0,
+        l2_mb=8.0,
+        l2_bw_tbs=3.0,
+        launch_latency_us=7.0,
+    ),
+    "MI300A": GPUSpec(
+        name="AMD MI300A",
+        vendor="AMD",
+        hbm_bw_tbs=5.3,
+        hbm_gb=128.0,
+        fp64_tflops=61.0,
+        l1_kb=32.0,
+        shared_kb=64.0,
+        unified_cache=False,
+        default_carveout=0.0,
+        sm_count=228,
+        threads_per_sm=2048,
+        warp_size=64,
+        atomic_gops=850.0,
+        l1_bw_tbs=24.0,
+        l2_mb=32.0,
+        l2_bw_tbs=8.0,
+        launch_latency_us=6.5,
+    ),
+    "PVC": GPUSpec(
+        name="Intel PVC (1 stack)",
+        vendor="Intel",
+        hbm_bw_tbs=1.6,
+        hbm_gb=64.0,
+        fp64_tflops=26.0,
+        l1_kb=0.0,  # Table 1 lists L1 as "n/a"
+        shared_kb=128.0,
+        unified_cache=False,
+        default_carveout=0.0,
+        sm_count=64,
+        threads_per_sm=2048,
+        warp_size=32,
+        atomic_gops=180.0,
+        l1_bw_tbs=13.0,
+        l2_mb=204.0,
+        l2_bw_tbs=3.2,
+        launch_latency_us=9.0,
+    ),
+}
+
+
+def get_gpu(name: str) -> GPUSpec:
+    """Look up a GPU by registry key (e.g. ``"H100"``), case-insensitively."""
+    key = name.upper()
+    if key not in GPUS:
+        raise KeyError(
+            f"unknown GPU {name!r}; available: {', '.join(sorted(GPUS))}"
+        )
+    return GPUS[key]

@@ -1,0 +1,99 @@
+"""Machine descriptions for the paper's scaling studies.
+
+Section 5.2 scales LAMMPS on OLCF Frontier (AMD MI250X), NNSA El Capitan
+(AMD MI300A), ALCF Aurora (Intel PVC), CSCS Alps (NVIDIA GH200), and NVIDIA
+Eos (DGX H100, intentionally run at 4 GPUs/node to mimic Alps).  Each machine
+is a node count, a GPUs-per-node figure (in *logical* GPUs: GCDs for MI250X,
+stacks for PVC), a GPU spec, and a fabric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.cpu import CPUSpec, SKYLAKE_NODE
+from repro.hardware.gpu import GPUSpec, get_gpu
+from repro.hardware.network import NetworkSpec, NETWORKS
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A GPU cluster: homogeneous nodes on one fabric."""
+
+    name: str
+    gpu: GPUSpec
+    #: Logical GPUs per node — one MPI rank is placed per logical GPU
+    #: (appendix B: "one MPI rank per GCD, and for PVC one MPI rank per
+    #: stack").
+    gpus_per_node: int
+    network: NetworkSpec
+    #: Largest node count exercised in the paper's figures.
+    max_nodes: int
+    #: NICs per node; the paper's runs use a 1:1 GPU:NIC ratio, so halo
+    #: bandwidth scales with ranks per node up to this count.
+    nics_per_node: int
+
+    def ranks(self, nodes: int) -> int:
+        """Total MPI ranks (= logical GPUs) at a node count."""
+        if nodes < 1:
+            raise ValueError("node count must be >= 1")
+        return nodes * self.gpus_per_node
+
+
+#: The five systems of section 5.2 / appendix C.
+MACHINES: dict[str, MachineSpec] = {
+    "frontier": MachineSpec(
+        name="OLCF Frontier",
+        gpu=get_gpu("MI250X"),
+        gpus_per_node=8,  # 4 MI250X packages = 8 GCDs
+        network=NETWORKS["slingshot11"],
+        max_nodes=8192,
+        nics_per_node=4,
+    ),
+    "elcapitan": MachineSpec(
+        name="NNSA El Capitan",
+        gpu=get_gpu("MI300A"),
+        gpus_per_node=4,
+        network=NETWORKS["slingshot11"],
+        max_nodes=8192,
+        nics_per_node=4,
+    ),
+    "aurora": MachineSpec(
+        name="ALCF Aurora",
+        gpu=get_gpu("PVC"),
+        gpus_per_node=12,  # 6 PVC packages = 12 stacks
+        network=NETWORKS["slingshot11"],
+        max_nodes=2048,
+        nics_per_node=8,
+    ),
+    "alps": MachineSpec(
+        name="CSCS Alps",
+        gpu=get_gpu("GH200"),
+        gpus_per_node=4,
+        network=NETWORKS["slingshot11"],
+        max_nodes=2048,
+        nics_per_node=4,
+    ),
+    "eos": MachineSpec(
+        name="NVIDIA Eos (4 GPUs/node)",
+        gpu=get_gpu("H100"),
+        gpus_per_node=4,  # intentionally 4 of 8, matching the paper
+        network=NETWORKS["ndr400"],
+        max_nodes=256,
+        nics_per_node=4,
+    ),
+}
+
+
+def get_machine(name: str) -> MachineSpec:
+    """Look up a machine by registry key, case-insensitively."""
+    key = name.lower()
+    if key not in MACHINES:
+        raise KeyError(
+            f"unknown machine {name!r}; available: {', '.join(sorted(MACHINES))}"
+        )
+    return MACHINES[key]
+
+
+#: Baseline CPU node for figure 5 normalization.
+REFERENCE_CPU: CPUSpec = SKYLAKE_NODE

@@ -1,0 +1,63 @@
+"""Interconnect models for the scaling studies (figures 6 and 7).
+
+The paper's machines use HPE Slingshot-11 (Frontier, El Capitan, Aurora,
+Alps) or NVIDIA NDR-400 InfiniBand (Eos), each in a 1:1 GPU-to-NIC ratio.
+Appendix C notes the two fabrics have comparable bandwidths, which is why the
+Alps and Eos curves lie on top of each other.
+
+We use the standard alpha-beta (latency-bandwidth) model: a message of ``n``
+bytes costs ``alpha + n / beta``, and an allreduce over ``p`` ranks costs
+``2 * ceil(log2 p) * alpha`` plus a bandwidth term for the payload.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """Point-to-point and collective cost parameters for one fabric."""
+
+    name: str
+    #: One-way message latency between GPUs on different nodes, microseconds.
+    #: Includes the GPU-aware MPI stack overhead, not just wire time.
+    latency_us: float
+    #: Per-NIC injection bandwidth, GB/s.
+    nic_bw_gbs: float
+
+    def ptp_time(self, nbytes: float) -> float:
+        """Seconds for one point-to-point message."""
+        if nbytes < 0:
+            raise ValueError("message size must be non-negative")
+        return self.latency_us * 1e-6 + nbytes / (self.nic_bw_gbs * 1e9)
+
+    def halo_time(self, nbytes_per_face: float, faces: int = 6) -> float:
+        """Seconds for a 3-D halo exchange (LAMMPS's 6-way brick pattern).
+
+        LAMMPS exchanges faces in 3 sequential dimension phases of 2
+        concurrent messages each, so latency is paid per phase.
+        """
+        phases = max(1, faces // 2)
+        return phases * self.latency_us * 1e-6 + faces * nbytes_per_face / (
+            self.nic_bw_gbs * 1e9
+        )
+
+    def allreduce_time(self, nbytes: float, nranks: int) -> float:
+        """Seconds for an allreduce (recursive doubling latency model)."""
+        if nranks <= 1:
+            return 0.0
+        hops = 2.0 * math.ceil(math.log2(nranks))
+        return hops * self.latency_us * 1e-6 + 2.0 * nbytes / (self.nic_bw_gbs * 1e9)
+
+
+#: Fabrics appearing in the paper.  Slingshot-11 is 200 Gb/s (25 GB/s) per
+#: NIC; NDR InfiniBand is 400 Gb/s (50 GB/s) per NIC — but Eos nodes in the
+#: paper's configuration pair one NIC per GPU just like Alps, and appendix C
+#: reports the *achieved* bandwidths are comparable.
+NETWORKS: dict[str, NetworkSpec] = {
+    "slingshot11": NetworkSpec("HPE Slingshot-11", latency_us=6.0, nic_bw_gbs=23.0),
+    "ndr400": NetworkSpec("NVIDIA NDR-400 InfiniBand", latency_us=5.0, nic_bw_gbs=46.0),
+    "loopback": NetworkSpec("single-node loopback", latency_us=0.0, nic_bw_gbs=1e6),
+}

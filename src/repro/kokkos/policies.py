@@ -1,0 +1,188 @@
+"""Execution policies: Range, MDRange, Team (paper section 3.3).
+
+Policies carry *where* (execution space) and *how much* (iteration space,
+team geometry, scratch demand) a kernel runs.  The dispatch layer uses them
+both to hand the functor its index space and to inform the cost model about
+exposed parallelism and shared-memory pressure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from repro.kokkos.core import Device, ExecutionSpace
+
+
+@dataclass(frozen=True)
+class RangePolicy:
+    """A 1-D iteration range ``[begin, end)``."""
+
+    space: ExecutionSpace
+    begin: int
+    end: int
+
+    def __init__(self, space: ExecutionSpace | int, begin: int | None = None, end: int | None = None):
+        # Convenience: RangePolicy(n) means Device space, [0, n).
+        if isinstance(space, (int, np.integer)):
+            object.__setattr__(self, "space", Device)
+            object.__setattr__(self, "begin", 0)
+            object.__setattr__(self, "end", int(space))
+            return
+        if end is None:
+            end = begin
+            begin = 0
+        if begin is None or end is None:
+            raise TypeError("RangePolicy requires an extent")
+        if end < begin:
+            raise ValueError(f"RangePolicy end {end} < begin {begin}")
+        object.__setattr__(self, "space", space)
+        object.__setattr__(self, "begin", int(begin))
+        object.__setattr__(self, "end", int(end))
+
+    @property
+    def size(self) -> int:
+        return self.end - self.begin
+
+    def indices(self) -> np.ndarray:
+        return np.arange(self.begin, self.end)
+
+    @property
+    def parallelism(self) -> int:
+        return self.size
+
+
+@dataclass(frozen=True)
+class MDRangePolicy:
+    """A multi-dimensional iteration range with optional tiling.
+
+    Tiling ("can be beneficial to achieve better cache locality in
+    multi-dimensional loop patterns", section 3.3) is metadata for the cost
+    model and for kernels that implement blocked traversals — e.g. the
+    3-D tiled traversal of ComputeYi (section 4.3.2).
+    """
+
+    space: ExecutionSpace
+    lower: tuple[int, ...]
+    upper: tuple[int, ...]
+    tile: tuple[int, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if len(self.lower) != len(self.upper):
+            raise ValueError("MDRangePolicy lower/upper rank mismatch")
+        if any(u < l for l, u in zip(self.lower, self.upper)):
+            raise ValueError("MDRangePolicy upper < lower")
+        if self.tile is not None and len(self.tile) != len(self.lower):
+            raise ValueError("MDRangePolicy tile rank mismatch")
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return tuple(u - l for l, u in zip(self.lower, self.upper))
+
+    @property
+    def size(self) -> int:
+        return int(np.prod(self.shape)) if self.shape else 0
+
+    @property
+    def parallelism(self) -> int:
+        return self.size
+
+    def tiles(self) -> Iterator[tuple[slice, ...]]:
+        """Iterate tile slab slices in the canonical order."""
+        tile = self.tile or self.shape
+        grids = [range(l, u, max(t, 1)) for l, u, t in zip(self.lower, self.upper, tile)]
+
+        def rec(dim: int, prefix: tuple[slice, ...]) -> Iterator[tuple[slice, ...]]:
+            if dim == len(grids):
+                yield prefix
+                return
+            for start in grids[dim]:
+                stop = min(start + tile[dim], self.upper[dim])
+                yield from rec(dim + 1, prefix + (slice(start, stop),))
+
+        yield from rec(0, ())
+
+
+@dataclass(frozen=True)
+class TeamPolicy:
+    """Hierarchical parallelism: a league of teams of threads of lanes.
+
+    ``scratch_kb`` is the per-team software-managed scratch request — the
+    hook through which kernels participate in the shared-memory carveout
+    study (figure 3).
+    """
+
+    space: ExecutionSpace
+    league_size: int
+    team_size: int = 1
+    vector_length: int = 1
+    scratch_kb: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.league_size < 0 or self.team_size < 1 or self.vector_length < 1:
+            raise ValueError("invalid TeamPolicy geometry")
+        if self.scratch_kb < 0:
+            raise ValueError("negative scratch request")
+
+    @property
+    def parallelism(self) -> int:
+        return self.league_size * self.team_size * self.vector_length
+
+    def handle(self) -> "TeamHandle":
+        return TeamHandle(self)
+
+
+@dataclass
+class TeamHandle:
+    """What a team-parallel functor receives.
+
+    Vectorized kernels use the geometry to shape their batch loops; the
+    scratch pad is a real allocation so staging logic is executable.
+    """
+
+    policy: TeamPolicy
+    _scratch: dict[str, np.ndarray] = field(default_factory=dict)
+
+    @property
+    def league_size(self) -> int:
+        return self.policy.league_size
+
+    @property
+    def team_size(self) -> int:
+        return self.policy.team_size
+
+    @property
+    def vector_length(self) -> int:
+        return self.policy.vector_length
+
+    def team_scratch(self, label: str, shape: tuple[int, ...], dtype=np.float64) -> np.ndarray:
+        """Allocate (or fetch) a named scratch pad.
+
+        The allocation models *one* team's pad; vectorized kernels reuse it
+        across the league exactly like resident teams reuse an SM's shared
+        memory.  Requests beyond the policy's declared ``scratch_kb`` raise,
+        mirroring a CUDA launch failure.
+        """
+        nbytes = int(np.prod(shape)) * np.dtype(dtype).itemsize
+        if nbytes > self.policy.scratch_kb * 1024.0 + 1e-9:
+            raise MemoryError(
+                f"scratch request {label!r} ({nbytes} B) exceeds the policy's "
+                f"declared {self.policy.scratch_kb} kB"
+            )
+        pad = self._scratch.get(label)
+        if pad is None or pad.shape != tuple(shape) or pad.dtype != np.dtype(dtype):
+            pad = np.zeros(shape, dtype=dtype)
+            self._scratch[label] = pad
+        return pad
+
+
+def TeamThreadRange(team: TeamHandle, extent: int) -> np.ndarray:
+    """Indices a team's threads cover collaboratively (vectorized form)."""
+    return np.arange(int(extent))
+
+
+def ThreadVectorRange(team: TeamHandle, extent: int) -> np.ndarray:
+    """Indices a thread's vector lanes cover (vectorized form)."""
+    return np.arange(int(extent))

@@ -1,0 +1,20 @@
+"""KSPACE: long-range electrostatics in reciprocal space.
+
+Paper section 3.1 lists KSPACE among LAMMPS's canonical *additional*
+packages: "for long-range interactions that require Fourier transforms and
+calculations in reciprocal space".  This package implements classic Ewald
+summation: the Coulomb sum is split by a Gaussian screening parameter into
+a short-range part handled in real space by ``pair_style lj/cut/coul/long``
+and a smooth long-range part summed over reciprocal-lattice vectors here.
+
+Distributed runs parallelize the physically correct way: every rank
+accumulates partial structure factors ``S(k) = sum_i q_i exp(i k . r_i)``
+over its owned atoms, one allreduce combines them, and each rank then
+evaluates its own atoms' reciprocal-space forces — the same communication
+pattern production Ewald/PPPM codes use.
+"""
+
+from repro.kspace.ewald import Ewald
+from repro.kspace import pair_coul_long as _pcl  # noqa: F401  (registers style)
+
+__all__ = ["Ewald"]

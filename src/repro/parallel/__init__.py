@@ -1,0 +1,24 @@
+"""Simulated MPI: in-process ranks, modeled interconnect.
+
+LAMMPS parallelizes by spatial domain decomposition over MPI ranks (one rank
+per logical GPU on the paper's machines).  Real MPI is unavailable here, so
+this package provides:
+
+* :class:`~repro.parallel.comm.SimWorld` / :class:`~repro.parallel.comm.SimComm`
+  — a rank-addressed message world executed inside one process.  Sends and
+  receives move real NumPy buffers (so decomposition bugs are real bugs, and
+  multi-rank results are tested equal to single-rank results), while the
+  *time* of every message is charged to a ledger using the alpha-beta fabric
+  models of :mod:`repro.hardware.network`.
+* :class:`~repro.parallel.decomp.BrickDecomposition` — LAMMPS's 3-D brick
+  spatial decomposition with periodic neighbor stencils.
+
+Because ranks execute sequentially within communication phases, blocking
+receives must be posted by a peer in an earlier phase; the world detects
+violations and raises (simulated deadlock) instead of hanging.
+"""
+
+from repro.parallel.comm import SimComm, SimWorld
+from repro.parallel.decomp import BrickDecomposition, factor_ranks
+
+__all__ = ["SimWorld", "SimComm", "BrickDecomposition", "factor_ranks"]

@@ -1,0 +1,31 @@
+"""Lockstep execution of per-rank generators.
+
+Engine communication routines are generators yielding at would-be blocking
+receives.  :func:`lockstep` advances every rank's generator to its next
+yield before letting any rank resume — the discrete-event equivalent of MPI
+progress.  A rank that finishes early simply drops out of the rotation.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Iterable
+
+
+def lockstep(generators: Iterable[Generator]) -> None:
+    """Run generators round-robin, one yield-step at a time, to exhaustion."""
+    live = list(generators)
+    while live:
+        next_round = []
+        for gen in live:
+            try:
+                next(gen)
+            except StopIteration:
+                continue
+            next_round.append(gen)
+        live = next_round
+
+
+def drain(gen: Generator) -> None:
+    """Run a single generator to completion (the one-rank fast path)."""
+    for _ in gen:
+        pass

@@ -1,0 +1,140 @@
+"""Kokkos EAM: ``pair_style eam/fs/kk`` (the figure 1 case study).
+
+Three device kernels — density accumulation, embedding, force — with the
+embedding-derivative forward communication routed through the *host* views:
+the DualView sync protocol moves ``fp`` device -> host, the LAMMPS
+communication classes exchange it (figure 1's dashed "uses" arrows), and a
+second sync moves it back.  This is the host-side communication choice
+section 3.3 describes; it is also the configuration that makes DualView's
+staleness tracking earn its keep.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+import repro.kokkos as kk
+from repro.core.styles import register_pair
+from repro.kokkos.core import Device, Host
+from repro.kokkos.scatter_view import ScatterView
+from repro.potentials.eam import PairEAM
+
+
+@register_pair("eam/fs/kk")
+class PairEAMKokkos(PairEAM):
+    """Device-resident EAM with host-staged fp communication."""
+
+    kokkos_style = True
+
+    def __init__(self, lmp, args, execution_space: str = "device") -> None:
+        self.execution_space = Device if execution_space == "device" else Host
+        super().__init__(lmp, args)
+
+    def compute_gen(self, eflag: bool = True, vflag: bool = True) -> Iterator[None]:
+        lmp = self.lmp
+        atom = lmp.atom
+        atom_kk = lmp.atom_kk
+        nlist = lmp.neigh_list
+        space = self.execution_space
+        self.reset_tallies()
+        if nlist is None or nlist.total_pairs == 0:
+            return
+
+        atom_kk.sync(space, ("x", "type", "f", "rho", "fp"))
+        x = atom_kk.view("x", space).data
+        types = atom_kk.view("type", space).data
+        rho_view = atom_kk.view("rho", space)
+        fp_view = atom_kk.view("fp", space)
+        f_view = atom_kk.view("f", space)
+        # Scratch fields are zeroed where they will be written — keeping the
+        # modify/sync ledger consistent (no host-side writes to device data).
+        rho_view.data[: atom.nall] = 0.0
+        fp_view.data[: atom.nall] = 0.0
+        atom_kk.modified(space, ("rho", "fp"))
+
+        i, j = nlist.ij_pairs()
+        itype = types[i]
+        jtype = types[j]
+        dx = x[i] - x[j]
+        rsq = np.einsum("ij,ij->i", dx, dx)
+        mask = rsq < self.cut[itype, jtype] ** 2
+        stored_pairs = len(i)
+        i, j, dx, rsq = i[mask], j[mask], dx[mask], rsq[mask]
+        itype, jtype = itype[mask], jtype[mask]
+        r = np.sqrt(rsq)
+
+        # Kernel 1: density accumulation (ScatterView handles the write
+        # conflicts when parallelizing over pairs).
+        sv = ScatterView(rho_view)
+        sv.access().add(i, self.dens(r))
+        sv.contribute()
+        kk.parallel_for(
+            "PairEAMKernelDensity",
+            kk.RangePolicy(space, 0, atom.nlocal),
+            lambda idx: None,
+            profile=kk.KernelProfile(
+                name="PairEAMKernelDensity",
+                flops=8.0 * stored_pairs,
+                bytes_streamed=4.0 * stored_pairs + 32.0 * atom.nlocal,
+                bytes_reusable=24.0 * stored_pairs,
+                l1_working_set_kb=12.0 * max(nlist.mean_neighbors, 1.0),
+                l2_working_set_mb=24.0 * atom.nlocal / 1e6,
+                atomic_ops=float(sv.atomic_adds),
+                parallel_items=float(atom.nlocal),
+            ),
+        )
+
+        # Kernel 2: embedding energy + derivative, per owned atom.
+        def embed_kernel(idx: np.ndarray) -> None:
+            rho_l = rho_view.data[idx]
+            t_l = types[idx]
+            self.eng_vdwl += float(self.embed(rho_l, t_l).sum())
+            fp_view.data[idx] = self.dembed(rho_l, t_l)
+
+        kk.parallel_for(
+            "PairEAMKernelEmbed",
+            kk.RangePolicy(space, 0, atom.nlocal),
+            embed_kernel,
+            profile=kk.KernelProfile(
+                name="PairEAMKernelEmbed",
+                flops=10.0 * atom.nlocal,
+                bytes_streamed=24.0 * atom.nlocal,
+                parallel_items=float(atom.nlocal),
+            ),
+        )
+        atom_kk.modified(space, ("rho", "fp"))
+
+        # Host-staged forward communication of fp (figure 1).
+        atom_kk.sync(Host, ("fp",))
+        yield from lmp.comm_brick.forward_comm_field(atom, "fp")
+        atom_kk.modified(Host, ("fp",))
+        atom_kk.sync(space, ("fp",))
+
+        # Kernel 3: force + pair energy.
+        fp = fp_view.data
+        fp_sum = fp[i] + fp[j]
+        fpair = -(self.dphi(r, itype, jtype) + fp_sum * self.ddens(r)) / r
+        fvec = fpair[:, None] * dx
+        np.add.at(f_view.data, i, fvec)
+        atom_kk.modified(space, ("f",))
+        kk.parallel_for(
+            "PairEAMKernelForce",
+            kk.RangePolicy(space, 0, atom.nlocal),
+            lambda idx: None,
+            profile=kk.KernelProfile(
+                name="PairEAMKernelForce",
+                flops=20.0 * stored_pairs,
+                bytes_streamed=4.0 * stored_pairs + 48.0 * atom.nlocal,
+                bytes_reusable=32.0 * stored_pairs,
+                l1_working_set_kb=14.0 * max(nlist.mean_neighbors, 1.0),
+                l2_working_set_mb=32.0 * atom.nlocal / 1e6,
+                parallel_items=float(atom.nlocal),
+            ),
+        )
+        if eflag or vflag:
+            evdwl = self.phi(r, itype, jtype)
+            self.tally_pairs(
+                evdwl, dx, fpair, j < atom.nlocal, full_list=True, newton=False
+            )

@@ -1,0 +1,135 @@
+"""Pair style base class (paper section 2.2).
+
+A pair style owns per-type-pair coefficients, declares the neighbor list it
+wants (half or full, newton on or off — the section 4.1 design space), and
+tallies energies and the virial the way LAMMPS's ``ev_tally`` does:
+
+* **half list, newton on** — each pair appears once globally: full energy,
+  forces on both atoms (ghost forces reverse-communicated);
+* **half list, newton off** — pairs with a ghost appear on both owning
+  ranks: each side tallies half the energy and updates only its own atom;
+* **full list** — every pair appears twice on this rank: each appearance
+  tallies half the energy and updates atom ``i`` only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.errors import InputError, StyleError
+
+
+class Pair:
+    """Base pair style."""
+
+    #: True on Kokkos-accelerated styles (drives DualView datamask syncs).
+    kokkos_style = False
+
+    def __init__(self, lmp, args: list[str]) -> None:
+        self.lmp = lmp
+        self.eng_vdwl = 0.0
+        self.eng_coul = 0.0
+        self.virial = np.zeros(6)
+        atom = lmp.require_box()
+        n = atom.ntypes + 1
+        self.cut = np.zeros((n, n))
+        self.setflag = np.zeros((n, n), dtype=bool)
+        self.settings(args)
+
+    # -------------------------------------------------------- configuration
+    def settings(self, args: list[str]) -> None:
+        """Parse ``pair_style`` arguments."""
+        raise NotImplementedError
+
+    def coeff(self, args: list[str]) -> None:
+        """Parse one ``pair_coeff`` line."""
+        raise NotImplementedError
+
+    def init(self) -> None:
+        """Finalize coefficients (mixing) before a run."""
+        n = self.cut.shape[0] - 1
+        for i in range(1, n + 1):
+            for j in range(i, n + 1):
+                if not self.setflag[i, j]:
+                    if self.setflag[i, i] and self.setflag[j, j]:
+                        self.init_one(i, j)
+                    else:
+                        raise InputError(
+                            f"pair coefficients for types ({i},{j}) not set"
+                        )
+                self.cut[j, i] = self.cut[i, j]
+
+    def init_one(self, i: int, j: int) -> None:
+        """Mix coefficients for an unset cross pair."""
+        raise StyleError(
+            f"{type(self).__name__} does not support coefficient mixing; "
+            f"set pair_coeff for types ({i},{j}) explicitly"
+        )
+
+    def _parse_type(self, token: str) -> list[int]:
+        """A type token: a number or ``*`` (all types)."""
+        ntypes = self.cut.shape[0] - 1
+        if token == "*":
+            return list(range(1, ntypes + 1))
+        t = int(token)
+        if not 1 <= t <= ntypes:
+            raise InputError(f"atom type {t} out of range [1, {ntypes}]")
+        return [t]
+
+    # ------------------------------------------------------------- queries
+    def max_cutoff(self) -> float:
+        return float(self.cut.max())
+
+    def neighbor_request(self) -> tuple[str, bool]:
+        """``(list_style, newton)`` this style wants."""
+        return "half", self.lmp.newton_pair
+
+    @property
+    def needs_reverse_comm(self) -> bool:
+        style, newton = self.neighbor_request()
+        return style == "half" and newton
+
+    # -------------------------------------------------------------- tallies
+    def reset_tallies(self) -> None:
+        self.eng_vdwl = 0.0
+        self.eng_coul = 0.0
+        self.virial[:] = 0.0
+
+    def tally_pairs(
+        self,
+        evdwl: np.ndarray,
+        dx: np.ndarray,
+        fpair: np.ndarray,
+        jlocal: np.ndarray,
+        *,
+        full_list: bool,
+        newton: bool,
+        ecoul: np.ndarray | None = None,
+    ) -> None:
+        """ev_tally for a batch of pairs.
+
+        ``fpair`` is the scalar force magnitude over r (force vector is
+        ``fpair[:, None] * dx``); ``jlocal`` marks pairs whose j atom is
+        owned by this rank.
+        """
+        if full_list:
+            factor = np.full(len(evdwl), 0.5)
+        elif newton:
+            factor = np.ones(len(evdwl))
+        else:
+            factor = np.where(jlocal, 1.0, 0.5)
+        self.eng_vdwl += float(np.dot(factor, evdwl))
+        if ecoul is not None:
+            self.eng_coul += float(np.dot(factor, ecoul))
+        w = fpair[:, None] * dx
+        # virial components xx, yy, zz, xy, xz, yz
+        self.virial[0] += float(np.dot(factor, dx[:, 0] * w[:, 0]))
+        self.virial[1] += float(np.dot(factor, dx[:, 1] * w[:, 1]))
+        self.virial[2] += float(np.dot(factor, dx[:, 2] * w[:, 2]))
+        self.virial[3] += float(np.dot(factor, dx[:, 0] * w[:, 1]))
+        self.virial[4] += float(np.dot(factor, dx[:, 0] * w[:, 2]))
+        self.virial[5] += float(np.dot(factor, dx[:, 1] * w[:, 2]))
+
+    # --------------------------------------------------------------- hooks
+    def compute(self, eflag: bool = True, vflag: bool = True) -> None:
+        raise NotImplementedError

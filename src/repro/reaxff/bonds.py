@@ -1,0 +1,61 @@
+"""Two-body bond energy from the bond-order table.
+
+``E_bond = -De_ij * BO_ij`` summed over bonds.  A bond is evaluated exactly
+once globally via the tag tie-break (the owner of the lower-tag end
+computes), with the force applied to both ends; ghost-end forces flow back
+through the reverse communication.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.reaxff.bond_order import BondList
+from repro.reaxff.params import ReaxParams
+
+
+def accumulate_virial(virial: np.ndarray, xs: np.ndarray, fs: np.ndarray) -> None:
+    """Add sum over rows of ``x (outer) f`` to the 6-component virial.
+
+    Valid per interaction because each interaction's forces sum to zero,
+    making the sum translation invariant.
+    """
+    virial[0] += float(np.dot(xs[:, 0], fs[:, 0]))
+    virial[1] += float(np.dot(xs[:, 1], fs[:, 1]))
+    virial[2] += float(np.dot(xs[:, 2], fs[:, 2]))
+    virial[3] += float(np.dot(xs[:, 0], fs[:, 1]))
+    virial[4] += float(np.dot(xs[:, 0], fs[:, 2]))
+    virial[5] += float(np.dot(xs[:, 1], fs[:, 2]))
+
+
+def compute_bonds(
+    x: np.ndarray,
+    types: np.ndarray,
+    tags: np.ndarray,
+    nlocal: int,
+    bonds: BondList,
+    params: ReaxParams,
+    f: np.ndarray,
+    virial: np.ndarray,
+) -> float:
+    """Accumulate bond forces into ``f``; returns the bond energy."""
+    if bonds.nbonds == 0:
+        return 0.0
+    i, j = bonds.i, bonds.j.astype(np.int64)
+    own = (i < nlocal) & (tags[i] < tags[j])
+    if not own.any():
+        return 0.0
+    i, j = i[own], j[own]
+    bo, dbo = bonds.bo[own], bonds.dbo[own]
+    dx, r = bonds.dx[own], bonds.r[own]
+    ti, tj = types[i], types[j]
+    de = params.de_ij(ti, tj)
+    energy = float(-(de * bo).sum())
+    # dE/dr = -De dBO/dr; F_i = -dE/dr * dx/r
+    fpair = de * dbo / r
+    fvec = fpair[:, None] * dx
+    np.add.at(f, i, fvec)
+    np.subtract.at(f, j, fvec)
+    accumulate_virial(virial, x[i], fvec)
+    accumulate_virial(virial, x[j], -fvec)
+    return energy

@@ -1,0 +1,100 @@
+"""Tapered van der Waals + shielded Coulomb (ReaxFF's nonbonded terms).
+
+All neighbor pairs within the 10 A cutoff interact through:
+
+* a Morse-form vdW term ``D [exp(a(1 - r/rv)) - 2 exp(a/2 (1 - r/rv))]``
+* a shielded Coulomb term ``C q_i q_j (r^3 + 1/gamma_ij^3)^(-1/3)``
+
+both multiplied by ReaxFF's 7th-order taper ``T(r)`` that takes the
+interaction smoothly to zero at the outer cutoff.  The same shielded-tapered
+kernel builds the QEq matrix, so the equilibrated charges minimize exactly
+the Coulomb energy computed here (which is what makes forces at fixed
+charges exact derivatives — the envelope theorem the tests rely on).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.reaxff.params import ReaxParams
+
+
+def taper(r: np.ndarray, rc: float) -> tuple[np.ndarray, np.ndarray]:
+    """ReaxFF 7th-order taper ``(T, dT/dr)``: T(0)=1, T(rc)=0, smooth ends."""
+    s = r / rc
+    s3 = s * s * s
+    t = 1.0 + s3 * s * (-35.0 + s * (84.0 + s * (-70.0 + 20.0 * s)))
+    dt = (-140.0 * s3 * (1.0 - s) ** 3) / rc
+    return t, dt
+
+
+def shielded_kernel(
+    r: np.ndarray, gamma_ij: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """``(g, dg/dr)`` with ``g = (r^3 + 1/gamma^3)^(-1/3)``."""
+    shield = 1.0 / gamma_ij**3
+    base = r**3 + shield
+    g = base ** (-1.0 / 3.0)
+    dg = -(base ** (-4.0 / 3.0)) * r * r
+    return g, dg
+
+
+def vdw_morse(
+    r: np.ndarray, d: np.ndarray, alpha: float, rv: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """``(E, dE/dr)`` for the Morse vdW form (no taper)."""
+    ex = np.exp(alpha * (1.0 - r / rv))
+    exh = np.exp(0.5 * alpha * (1.0 - r / rv))
+    e = d * (ex - 2.0 * exh)
+    de = d * (-alpha / rv) * (ex - exh)
+    return e, de
+
+
+def compute_nonbonded(
+    x: np.ndarray,
+    types: np.ndarray,
+    q: np.ndarray,
+    nlocal: int,
+    nlist,
+    params: ReaxParams,
+    qqr2e: float,
+    f: np.ndarray,
+    virial: np.ndarray,
+) -> tuple[float, float, int]:
+    """vdW + Coulomb from a full neighbor list.
+
+    Returns ``(evdw, ecoul_pairs, pairs_in_cutoff)``; forces are added to
+    owned atoms only (full-list convention: each pair visited from both
+    ends, energies at half weight).
+    """
+    i, j = nlist.ij_pairs()
+    dx = x[i] - x[j]
+    rsq = np.einsum("ij,ij->i", dx, dx)
+    mask = rsq < params.rcut_nonb**2
+    i, j, dx = i[mask], j[mask], dx[mask]
+    r = np.sqrt(rsq[mask])
+    ti, tj = types[i], types[j]
+
+    t, dt = taper(r, params.rcut_nonb)
+    ev, dev = vdw_morse(r, params.vdw_d_ij(ti, tj), params.vdw_alpha, params.vdw_r_ij(ti, tj))
+    g, dg = shielded_kernel(r, params.gamma_ij(ti, tj))
+    qq = qqr2e * q[i] * q[j]
+
+    e_vdw_pair = ev * t
+    e_cou_pair = qq * g * t
+    de_total = (dev * t + ev * dt) + qq * (dg * t + g * dt)
+
+    # full-list convention: half the pair energy per visit; force on i only.
+    evdw = 0.5 * float(e_vdw_pair.sum())
+    ecoul = 0.5 * float(e_cou_pair.sum())
+    fpair = -de_total / r
+    fvec = fpair[:, None] * dx
+    np.add.at(f, i, fvec)
+    # per-visit half virial (sums to the full pair virial over both visits)
+    virial[0] += 0.5 * float(np.dot(dx[:, 0], fvec[:, 0]))
+    virial[1] += 0.5 * float(np.dot(dx[:, 1], fvec[:, 1]))
+    virial[2] += 0.5 * float(np.dot(dx[:, 2], fvec[:, 2]))
+    virial[3] += 0.5 * float(np.dot(dx[:, 0], fvec[:, 1]))
+    virial[4] += 0.5 * float(np.dot(dx[:, 0], fvec[:, 2]))
+    virial[5] += 0.5 * float(np.dot(dx[:, 1], fvec[:, 2]))
+    return evdw, ecoul, len(r)

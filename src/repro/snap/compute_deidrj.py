@@ -1,0 +1,65 @@
+"""ComputeFusedDeidrj: per-pair force contraction (steps 3+4, fused).
+
+For each (atom, neighbor) pair the weighted Wigner derivative is
+
+    dU_pair/dr = (dsfac/dr) rhat (x) u_pair + sfac * du_pair,
+
+(the ComputeDuidrj recursion), and the force contribution contracts it
+against the adjoints:
+
+    dE/dr_k = Re( Y12[i] . dU_k + Y3[i] . conj(dU_k) ).
+
+All three Cartesian directions are evaluated in one pass — the paper's
+ComputeFusedDeidrj, which eliminated the redundant recomputation of u and
+the repeated loads of Y between the per-direction kernels (Table 2's
+1.49x / 1.74x uplift).  Pairs are processed in chunks so the du staging
+never exceeds a bounded footprint — the Python analogue of eliminating
+global-memory staging (section 4.3.3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.snap.wigner import compute_u_blocks, switching
+
+#: pairs processed per chunk (bounds du memory: chunk * 3 * idxu * 16B)
+PAIR_CHUNK = 8192
+
+
+def compute_fused_deidrj(
+    rij: np.ndarray,
+    pair_i: np.ndarray,
+    Y12: np.ndarray,
+    Y3: np.ndarray,
+    rcut: float,
+    twojmax: int,
+    *,
+    rmin0: float = 0.0,
+    chunk: int = PAIR_CHUNK,
+) -> np.ndarray:
+    """``dE/dr_k`` for every pair, shape (npairs, 3) real.
+
+    ``rij = x_neighbor - x_center``; the caller applies Newton's third law
+    (force on the neighbor, opposite force on the center).
+    """
+    npairs = rij.shape[0]
+    dedr = np.zeros((npairs, 3))
+    for lo in range(0, npairs, chunk):
+        sl = slice(lo, min(lo + chunk, npairs))
+        rij_c = rij[sl]
+        u, du = compute_u_blocks(
+            rij_c, rcut, rmin0=rmin0, twojmax=twojmax, derivatives=True
+        )
+        r = np.sqrt(np.einsum("ij,ij->i", rij_c, rij_c))
+        sfac, dsfac = switching(r, rcut, rmin0)
+        rhat = rij_c / r[:, None]
+        # dU = dsfac rhat (x) u + sfac du   — (chunk, 3, idxu)
+        dU = (dsfac[:, None] * rhat)[:, :, None] * u[:, None, :]
+        dU += sfac[:, None, None] * du
+        ya = Y12[pair_i[sl]]
+        yb = Y3[pair_i[sl]]
+        dedr[sl] = np.real(
+            np.einsum("pm,pdm->pd", ya, dU) + np.einsum("pm,pdm->pd", yb, np.conj(dU))
+        )
+    return dedr

@@ -1,0 +1,66 @@
+"""ComputeYi: the adjoint arrays (step 2 of the SNAP evaluation).
+
+The energy is trilinear in the U totals,
+
+    E_i = sum_b beta_b sum_t C_t U[in1] U[in2] conj(U[out]),
+
+so its gradient with respect to U splits into an unconjugated adjoint
+``Y12`` (terms where U appears bare) and a conjugated adjoint ``Y3`` (terms
+where U appears conjugated):
+
+    dE_i = Re( sum_m Y12[m] dU[m] + Y3[m] conj(dU[m]) ).
+
+LAMMPS folds these into a single Y via U-matrix symmetries; we keep the
+two-slot form, which has identical computational structure (one sparse
+contraction pass over the same tensor, memory-bound on U loads — the L1
+story of figure 3) and is transparently finite-difference verifiable.
+
+The ``batch`` knob models section 4.3.4's ComputeYi work batching: threads
+handling several atoms share the Clebsch-Gordan look-up table traffic,
+reducing L1 transactions (Table 2's 1.54x on H100).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.snap.indexing import SnapIndex
+
+_TERM_CHUNK = 16384
+
+
+def compute_yi(
+    U: np.ndarray, beta: np.ndarray, twojmax: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """``(Y12, Y3)``: adjoints of the energy with respect to U / conj(U)."""
+    idx = SnapIndex(twojmax)
+    t = idx.tensor
+    natoms = U.shape[0]
+    if beta.shape != (idx.nbispectrum,):
+        raise ValueError(
+            f"beta has {beta.shape}, expected ({idx.nbispectrum},)"
+        )
+    y12 = np.zeros_like(U)
+    y3 = np.zeros_like(U)
+    rows = np.arange(natoms)[:, None]
+    for lo in range(0, t.nterms, _TERM_CHUNK):
+        sl = slice(lo, min(lo + _TERM_CHUNK, t.nterms))
+        w = beta[t.ib[sl]] * t.coeff[sl]
+        u1 = U[:, t.in1[sl]]
+        u2 = U[:, t.in2[sl]]
+        cu3 = np.conj(U[:, t.out[sl]])
+        np.add.at(y12, (rows, t.in1[sl][None, :]), w * u2 * cu3)
+        np.add.at(y12, (rows, t.in2[sl][None, :]), w * u1 * cu3)
+        np.add.at(y3, (rows, t.out[sl][None, :]), w * u1 * u2)
+    return y12, y3
+
+
+def yi_l1_transactions(natoms: int, nterms: int, batch: int = 1) -> float:
+    """L1 look-up-table transactions (cost-profile helper).
+
+    The CG coefficient stream is shared across atoms; batching ``batch``
+    atoms per thread amortizes it (section 4.3.4).
+    """
+    if batch < 1:
+        raise ValueError("batch must be >= 1")
+    return nterms * (natoms / batch + natoms)

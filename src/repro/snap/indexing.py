@@ -1,0 +1,146 @@
+"""Quantum-number index spaces for SNAP (paper section 4.3.1).
+
+The U/Y data structures have four degrees of freedom (atom, j, m, m'); the
+(j, m, m') triplets flatten into one "quantum number" index with j slowest
+and m' fastest, "so rows and columns of matrices stay together".  This
+module owns that flattening, the bispectrum triple list (``0 <= j2 <= j1 <=
+j <= J`` after the group-theoretic reductions), and the precomputed sparse
+contraction tensor through which ComputeYi/ComputeBi evaluate the
+Clebsch-Gordan triple products.
+
+All angular momenta use the doubled (``2j``) integer convention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.snap.cg import clebsch_gordan, triangle_ok
+
+
+@dataclass
+class ContractionTensor:
+    """Sparse COO tensor for ``B_b = sum C * U[in1] * U[in2] * conj(U[out])``.
+
+    One row per non-zero Clebsch-Gordan product pair; the same arrays drive
+    the bispectrum (energy) and the adjoint (force) contractions.
+    """
+
+    ib: np.ndarray  # bispectrum-component index per term
+    out: np.ndarray  # flat index into U_j (the conjugated slot)
+    in1: np.ndarray  # flat index into U_j1
+    in2: np.ndarray  # flat index into U_j2
+    coeff: np.ndarray  # real coefficient (product of two CG values)
+
+    @property
+    def nterms(self) -> int:
+        return len(self.coeff)
+
+
+class SnapIndex:
+    """All index machinery for one ``twojmax``."""
+
+    _cache: dict[int, "SnapIndex"] = {}
+
+    def __new__(cls, twojmax: int) -> "SnapIndex":
+        if twojmax not in cls._cache:
+            inst = super().__new__(cls)
+            inst._build(twojmax)
+            cls._cache[twojmax] = inst
+        return cls._cache[twojmax]
+
+    def _build(self, twojmax: int) -> None:
+        if twojmax < 0:
+            raise ValueError("twojmax must be >= 0")
+        self.twojmax = twojmax
+        # idxu_block[j2x] = offset of the (j+1)^2 block for doubled-j j2x
+        self.idxu_block = np.zeros(twojmax + 2, dtype=np.int64)
+        for j2x in range(twojmax + 1):
+            self.idxu_block[j2x + 1] = self.idxu_block[j2x] + (j2x + 1) ** 2
+        self.idxu_max = int(self.idxu_block[twojmax + 1])
+
+        #: bispectrum triples (j1x2, j2x2, jx2) with j2 <= j1 <= j
+        self.idxb: list[tuple[int, int, int]] = []
+        for j1 in range(twojmax + 1):
+            for j2 in range(j1 + 1):
+                for j in range(j1 - j2, min(twojmax, j1 + j2) + 1, 2):
+                    if j >= j1:
+                        self.idxb.append((j1, j2, j))
+        self.nbispectrum = len(self.idxb)
+        self._tensor: ContractionTensor | None = None
+
+    # ------------------------------------------------------------- flatten
+    def flat(self, j2x: int, mb: int, ma: int) -> int:
+        """Flat quantum-number index (j slowest, ma = m' fastest)."""
+        return int(self.idxu_block[j2x]) + mb * (j2x + 1) + ma
+
+    def diag_indices(self) -> np.ndarray:
+        """Flat indices of all (j, m, m) diagonal entries (wself slots)."""
+        out = []
+        for j2x in range(self.twojmax + 1):
+            for m in range(j2x + 1):
+                out.append(self.flat(j2x, m, m))
+        return np.asarray(out, dtype=np.int64)
+
+    # -------------------------------------------------------------- tensor
+    @property
+    def tensor(self) -> ContractionTensor:
+        """The CG contraction tensor, built lazily (exact, cached)."""
+        if self._tensor is None:
+            self._tensor = self._build_tensor()
+        return self._tensor
+
+    def _build_tensor(self) -> ContractionTensor:
+        ib_l: list[int] = []
+        out_l: list[int] = []
+        in1_l: list[int] = []
+        in2_l: list[int] = []
+        co_l: list[float] = []
+        for ib, (j1, j2, j) in enumerate(self.idxb):
+            assert triangle_ok(j1, j2, j)
+            for mb in range(j + 1):
+                mx2 = 2 * mb - j
+                # row CG factors: m = m1 + m2
+                row_terms = []
+                for mb1 in range(j1 + 1):
+                    m1x2 = 2 * mb1 - j1
+                    m2x2 = mx2 - m1x2
+                    if abs(m2x2) > j2:
+                        continue
+                    mb2 = (m2x2 + j2) // 2
+                    c = clebsch_gordan(j1, m1x2, j2, m2x2, j, mx2)
+                    if c != 0.0:
+                        row_terms.append((mb1, mb2, c))
+                if not row_terms:
+                    continue
+                for ma in range(j + 1):
+                    max2 = 2 * ma - j
+                    col_terms = []
+                    for ma1 in range(j1 + 1):
+                        m1px2 = 2 * ma1 - j1
+                        m2px2 = max2 - m1px2
+                        if abs(m2px2) > j2:
+                            continue
+                        ma2 = (m2px2 + j2) // 2
+                        c = clebsch_gordan(j1, m1px2, j2, m2px2, j, max2)
+                        if c != 0.0:
+                            col_terms.append((ma1, ma2, c))
+                    if not col_terms:
+                        continue
+                    out_idx = self.flat(j, mb, ma)
+                    for mb1, mb2, cr in row_terms:
+                        for ma1, ma2, cc in col_terms:
+                            ib_l.append(ib)
+                            out_l.append(out_idx)
+                            in1_l.append(self.flat(j1, mb1, ma1))
+                            in2_l.append(self.flat(j2, mb2, ma2))
+                            co_l.append(cr * cc)
+        return ContractionTensor(
+            ib=np.asarray(ib_l, dtype=np.int64),
+            out=np.asarray(out_l, dtype=np.int64),
+            in1=np.asarray(in1_l, dtype=np.int64),
+            in2=np.asarray(in2_l, dtype=np.int64),
+            coeff=np.asarray(co_l),
+        )

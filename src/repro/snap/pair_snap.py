@@ -1,0 +1,259 @@
+"""``pair_style snap`` and ``pair_style snap/kk``.
+
+Usage::
+
+    pair_style snap <twojmax> <rcut>
+    pair_coeff 1 1 <beta_scale> <beta_seed_mult>
+
+Coefficients are synthetic: a seeded Gaussian vector scaled to
+``beta_scale / sqrt(ncoeff)`` (DESIGN.md substitution table) — the index
+space, kernel structure, and differentiability match the production Ta
+potential of the paper (``2J_max = 8``, rcut 4.7 A).
+
+The Kokkos style exposes the paper's tuning knobs — ComputeUi/Yi batch
+factors, Deidrj fusion, and the ComputeYi atom-tile size ``v`` of section
+4.3.2 — which alter only the kernel cost profiles; the physics is
+bit-identical across all settings (asserted by tests).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro.kokkos as kk
+from repro.core.errors import InputError
+from repro.core.styles import register_pair
+from repro.kokkos.core import Device, Host
+from repro.potentials.pair import Pair
+from repro.snap.bispectrum import compute_bispectrum
+from repro.snap.compute_deidrj import compute_fused_deidrj
+from repro.snap.compute_ui import compute_ui, ui_atomic_adds
+from repro.snap.compute_yi import compute_yi
+from repro.snap.indexing import SnapIndex
+
+
+def synthetic_beta(ncoeff: int, scale: float, seed: int = 777) -> np.ndarray:
+    """Deterministic pseudo-random SNAP coefficients."""
+    rng = np.random.default_rng(seed)
+    return scale * rng.standard_normal(ncoeff) / np.sqrt(ncoeff)
+
+
+@register_pair("snap")
+class PairSNAP(Pair):
+    """Host SNAP."""
+
+    def settings(self, args: list[str]) -> None:
+        if len(args) < 2:
+            raise InputError("pair_style snap <twojmax> <rcut>")
+        self.twojmax = int(args[0])
+        if not 0 <= self.twojmax <= 12:
+            raise InputError("twojmax must be in [0, 12]")
+        self.rcut = float(args[1])
+        if self.rcut <= 0:
+            raise InputError("rcut must be positive")
+        self.rmin0 = 0.0
+        self.index = SnapIndex(self.twojmax)
+        self.beta: np.ndarray | None = None
+        if self.cut.shape[0] != 2:
+            raise InputError("pair snap supports a single atom type")
+        self.last_stats: dict = {}
+
+    def coeff(self, args: list[str]) -> None:
+        if len(args) != 4:
+            raise InputError("pair_coeff 1 1 <beta_scale> <beta_seed_mult>")
+        scale = float(args[2])
+        seed = int(777 * float(args[3]))
+        self.beta = synthetic_beta(self.index.nbispectrum, scale, seed)
+        self.cut[1, 1] = self.rcut
+        self.setflag[1, 1] = True
+
+    def init(self) -> None:
+        if self.beta is None:
+            raise InputError("pair snap: coefficients not set")
+
+    def neighbor_request(self) -> tuple[str, bool]:
+        return "full", False
+
+    @property
+    def needs_reverse_comm(self) -> bool:
+        # dE_i/dr_j is applied to the neighbor (possibly a ghost) as well as
+        # the center, so ghost forces must flow back to their owners.
+        return True
+
+    def max_cutoff(self) -> float:
+        return self.rcut
+
+    # --------------------------------------------------------------- compute
+    def compute(self, eflag: bool = True, vflag: bool = True) -> None:
+        lmp = self.lmp
+        atom = lmp.atom
+        nlist = lmp.neigh_list
+        self.reset_tallies()
+        stats = self.last_stats = {}
+        if nlist is None or nlist.total_pairs == 0:
+            return
+        nlocal = atom.nlocal
+        x = atom.x[: atom.nall]
+
+        i, j = nlist.ij_pairs()
+        rij = x[j] - x[i]
+        rsq = np.einsum("ij,ij->i", rij, rij)
+        mask = rsq < self.rcut**2
+        i, j, rij = i[mask], j[mask], rij[mask]
+        stats["npairs"] = len(i)
+        stats["natoms"] = nlocal
+
+        # (1) ComputeUi: per-pair Wigner sets -> per-atom totals
+        U, _, _ = compute_ui(
+            rij, i, nlocal, self.rcut, self.twojmax, rmin0=self.rmin0
+        )
+        # energy: bispectrum components dotted with the learned coefficients
+        B = compute_bispectrum(U, self.twojmax)
+        self.eng_vdwl += float((B @ self.beta).sum())
+        # (2) ComputeYi: adjoint arrays
+        Y12, Y3 = compute_yi(U, self.beta, self.twojmax)
+        # (3+4) ComputeFusedDeidrj: per-pair force contraction, 3 directions
+        dedr = compute_fused_deidrj(
+            rij, i, Y12, Y3, self.rcut, self.twojmax, rmin0=self.rmin0
+        )
+        np.subtract.at(atom.f, j, dedr)
+        np.add.at(atom.f, i, dedr)
+        if vflag:
+            w = -dedr
+            self.virial[0] += float(np.dot(rij[:, 0], w[:, 0]))
+            self.virial[1] += float(np.dot(rij[:, 1], w[:, 1]))
+            self.virial[2] += float(np.dot(rij[:, 2], w[:, 2]))
+            self.virial[3] += float(np.dot(rij[:, 0], w[:, 1]))
+            self.virial[4] += float(np.dot(rij[:, 0], w[:, 2]))
+            self.virial[5] += float(np.dot(rij[:, 1], w[:, 2]))
+        self._charge_kernels(stats)
+
+    def _charge_kernels(self, stats: dict) -> None:
+        """Hook for the Kokkos style."""
+
+
+@register_pair("snap/kk")
+class PairSNAPKokkos(PairSNAP):
+    """Kokkos SNAP with the section 4.3/4.4 tuning knobs."""
+
+    kokkos_style = True
+
+    def __init__(self, lmp, args, execution_space: str = "device") -> None:
+        self.execution_space = Device if execution_space == "device" else Host
+        #: work-batching factors (Table 2) and the ComputeYi tile (4.3.2)
+        self.ui_batch = 4
+        self.yi_batch = 4
+        self.fuse_deidrj = True
+        self.tile_v = 32
+        super().__init__(lmp, args)
+
+    def set_options(
+        self,
+        *,
+        ui_batch: int | None = None,
+        yi_batch: int | None = None,
+        fuse_deidrj: bool | None = None,
+        tile_v: int | None = None,
+    ) -> None:
+        if ui_batch is not None:
+            if ui_batch < 1:
+                raise InputError("ui_batch must be >= 1")
+            self.ui_batch = ui_batch
+        if yi_batch is not None:
+            if yi_batch < 1:
+                raise InputError("yi_batch must be >= 1")
+            self.yi_batch = yi_batch
+        if fuse_deidrj is not None:
+            self.fuse_deidrj = fuse_deidrj
+        if tile_v is not None:
+            if tile_v < 1:
+                raise InputError("tile_v must be >= 1")
+            self.tile_v = tile_v
+
+    def compute(self, eflag: bool = True, vflag: bool = True) -> None:
+        atom_kk = self.lmp.atom_kk
+        atom_kk.sync(self.execution_space, ("x", "type", "f"))
+        super().compute(eflag, vflag)
+        atom_kk.modified(Host, ("f",))
+
+    # ------------------------------------------------------------- profiles
+    def _charge_kernels(self, stats: dict) -> None:
+        space = self.execution_space
+        n = max(stats.get("natoms", 1), 1)
+        npairs = max(stats.get("npairs", 1), 1)
+        idxu = self.index.idxu_max
+        # effective contraction terms after the symmetry folding a production
+        # implementation applies (our COO tensor enumerates all images)
+        nterms_eff = max(self.index.tensor.nterms / 36.0, 1.0)
+
+        def charge(name: str, policy=None, **kw) -> None:
+            kw.setdefault("cpu_efficiency", 0.15)  # dense quantum-number loops
+            prof = kk.KernelProfile(name=name, **kw)
+            pol = policy or kk.RangePolicy(space, 0, n)
+            kk.parallel_for(name, pol, lambda idx: None, profile=prof)
+
+        # ComputeUi: recursive polynomial evaluation is compute bound
+        # (section 4.3.3); atomic accumulation into U is the limiter until
+        # work batching sums `ui_batch` neighbors in registers first, which
+        # also exposes instruction-level parallelism (section 4.3.4).
+        recursion_flops = 40.0 * idxu
+        ilp = min(1.0 + 0.12 * (self.ui_batch - 1), 1.4)
+        charge(
+            "ComputeUi",
+            policy=kk.TeamPolicy(
+                space,
+                league_size=max(npairs // (4 * self.ui_batch), 1),
+                team_size=4,
+                vector_length=max(min(self.twojmax + 1, 8), 1),
+                scratch_kb=20.0,
+            ),
+            flops=recursion_flops * npairs / ilp,
+            bytes_streamed=32.0 * npairs + 16.0 * idxu * n,
+            atomic_ops=ui_atomic_adds(npairs, idxu, self.ui_batch),
+            # batching narrows the thread count but the extra per-thread ILP
+            # keeps latency hidden; exposed parallelism stays pair-scaled
+            parallel_items=float(npairs),
+            l2_working_set_mb=16.0 * idxu * n / 1e6,
+        )
+        # ComputeYi: L1-throughput limited — per-atom U blocks stay hot for
+        # tile_v atoms (section 4.3.2's 3-d tiling); Clebsch-Gordan look-up
+        # tables are warp-uniform and their transactions amortize over the
+        # yi_batch atoms each thread handles (section 4.3.4).
+        charge(
+            "ComputeYi",
+            flops=6.0 * nterms_eff * n,
+            bytes_streamed=4.0 * idxu * n,
+            bytes_reusable=nterms_eff * (16.0 + 16.0 / self.yi_batch) * n,
+            # the tile's U blocks (16 B complex x idxu x v atoms) plus the
+            # warp-shared look-up tables; 160 kB at the H100-ideal v = 32
+            l1_working_set_kb=16.0 * idxu * self.tile_v / 1024.0 + 18.0,
+            batch_width=float(self.tile_v),
+            # the tiled traversal keeps the L2-level footprint bounded
+            l2_working_set_mb=40.0,
+            parallel_items=float(n),
+        )
+        # ComputeFusedDeidrj: recursion + derivative + adjoint contraction
+        # per pair.  Unfused, three per-direction kernels each redo the u
+        # recursion and reload Y (the Table 2 fusion).
+        passes = 1 if self.fuse_deidrj else 3
+        name = "ComputeFusedDeidrj" if self.fuse_deidrj else "ComputeDeidrj"
+        per_pass_flops = (
+            recursion_flops * (2.2 if self.fuse_deidrj else 1.0) + 16.0 * idxu
+        )
+        charge(
+            name,
+            policy=kk.TeamPolicy(
+                space,
+                league_size=max(npairs // 4, 1),
+                team_size=4,
+                vector_length=max(min(self.twojmax + 1, 8), 1),
+                scratch_kb=34.0,
+            ),
+            flops=per_pass_flops * npairs * passes,
+            bytes_streamed=(16.0 * idxu * n + 40.0 * npairs) * passes,
+            bytes_reusable=16.0 * idxu * npairs / 40.0 * passes,
+            l1_working_set_kb=96.0,
+            l2_working_set_mb=32.0 * idxu * n / 1e6,
+            parallel_items=float(npairs),
+            launches=passes,
+        )

@@ -1,0 +1,149 @@
+"""Wigner U-matrix recursion on the 3-sphere, vectorized over pairs.
+
+Equation 2 of the paper: relative positions map onto the unit 3-sphere
+through Cayley-Klein parameters, and the half-integer family of Wigner
+matrices ``u_j`` follows from the linear recursion ``u_j = F(u_{j-1/2})``.
+The loop over quantum numbers has a serial dependency (section 4.3.3), so
+the recursion runs layer by layer; every layer operation is vectorized over
+the (atom, neighbor) pair axis, which is where the parallelism lives on
+GPUs too.
+
+The derivative recursion (``compute_duarray`` in LAMMPS) applies the product
+rule through the same structure and is fused here with the value recursion
+when requested, mirroring the hybrid evaluation of section 4.3.3.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.snap.indexing import SnapIndex
+
+#: angle scale factor (LAMMPS default rfac0)
+RFAC0 = 0.99363
+
+
+def switching(r: np.ndarray, rcut: float, rmin0: float) -> tuple[np.ndarray, np.ndarray]:
+    """Cosine switching function ``(sfac, dsfac/dr)`` (LAMMPS switchflag=1)."""
+    denom = rcut - rmin0
+    s = np.pi * (r - rmin0) / denom
+    sfac = 0.5 * (np.cos(s) + 1.0)
+    dsfac = -0.5 * np.pi / denom * np.sin(s)
+    inside = r < rcut
+    return np.where(inside, sfac, 0.0), np.where(inside, dsfac, 0.0)
+
+
+def _cayley_klein(
+    rij: np.ndarray, rcut: float, rmin0: float
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Cayley-Klein parameters and their Cartesian gradients.
+
+    Returns ``(r, ca, cb, dca, dcb)`` where ``ca = conj(a)``, ``cb =
+    conj(b)`` enter the recursion directly, and ``dca``/``dcb`` have shape
+    (npairs, 3).
+    """
+    x, y, z = rij[:, 0], rij[:, 1], rij[:, 2]
+    r = np.sqrt(np.einsum("ij,ij->i", rij, rij))
+    theta0 = RFAC0 * np.pi * (r - rmin0) / (rcut - rmin0)
+    dtheta_dr = RFAC0 * np.pi / (rcut - rmin0)
+    cot = np.cos(theta0) / np.sin(theta0)
+    z0 = r * cot
+    # dz0/dr = cot - r * (1 + cot^2) * dtheta/dr
+    dz0_dr = cot - r * (1.0 + cot * cot) * dtheta_dr
+
+    rhat = rij / r[:, None]
+    dz0 = dz0_dr[:, None] * rhat  # (n, 3)
+
+    r0sq = r * r + z0 * z0
+    r0inv = 1.0 / np.sqrt(r0sq)
+    # dr0inv = -r0inv^3 (r dr + z0 dz0)
+    dr0inv = -(r0inv**3)[:, None] * (rij + z0[:, None] * dz0)
+
+    a = r0inv * (z0 - 1j * z)
+    b = r0inv * (y - 1j * x)
+    da = dr0inv * (z0 - 1j * z)[:, None] + r0inv[:, None] * dz0.astype(complex)
+    da[:, 2] += r0inv * (-1j)
+    db = dr0inv * (y - 1j * x)[:, None]
+    db[:, 1] += r0inv
+    db[:, 0] += r0inv * (-1j)
+    return r, np.conj(a), np.conj(b), np.conj(da), np.conj(db)
+
+
+def _apply_symmetry(cur: np.ndarray, J: int, deriv: bool) -> None:
+    """Fill rows ``mb > J/2`` from the inversion symmetry.
+
+    ``u[J - mb][J - ma] = (-1)^(ma + mb) conj(u[mb][ma])`` (VMK 4.4).
+    ``cur`` has the (mb, ma) block in its trailing two axes.
+    """
+    half = np.array([(-1.0) ** (J + mb) for mb in range(J // 2 + 1)])
+    sign_c = (-1.0) ** np.arange(J + 1)
+    for mb in range(J // 2 + 1):
+        src = cur[..., mb, ::-1].copy()
+        cur[..., J - mb, :] = (half[mb] * sign_c) * np.conj(src)
+
+
+def compute_u_blocks(
+    rij: np.ndarray,
+    rcut: float,
+    *,
+    rmin0: float = 0.0,
+    twojmax: int = 8,
+    derivatives: bool = False,
+) -> tuple[np.ndarray, np.ndarray | None]:
+    """Per-pair Wigner coefficients.
+
+    Returns ``(u, du)``: ``u`` is (npairs, idxu_max) complex; ``du`` is
+    (npairs, 3, idxu_max) when ``derivatives`` else None.  Values are the
+    *bare* matrices — the caller applies the switching-function weight.
+    """
+    idx = SnapIndex(twojmax)
+    n = rij.shape[0]
+    u_flat = np.zeros((n, idx.idxu_max), dtype=np.complex128)
+    du_flat = (
+        np.zeros((n, 3, idx.idxu_max), dtype=np.complex128) if derivatives else None
+    )
+    if n == 0:
+        return u_flat, du_flat
+
+    r, ca, cb, dca, dcb = _cayley_klein(rij, rcut, rmin0)
+
+    prev = np.ones((n, 1, 1), dtype=np.complex128)
+    dprev = np.zeros((n, 3, 1, 1), dtype=np.complex128) if derivatives else None
+    u_flat[:, 0] = 1.0
+
+    for J in range(1, twojmax + 1):
+        cur = np.zeros((n, J + 1, J + 1), dtype=np.complex128)
+        dcur = (
+            np.zeros((n, 3, J + 1, J + 1), dtype=np.complex128)
+            if derivatives
+            else None
+        )
+        for mb in range(J // 2 + 1):
+            if mb > J - 1:
+                # (possible only for J = 0; loop starts at J = 1)
+                continue
+            denom = np.sqrt(float(J - mb))
+            ma = np.arange(J)
+            rpq_a = np.sqrt((J - ma) / float(J - mb))
+            rpq_b = np.sqrt((ma + 1) / float(J - mb))
+            p = prev[:, mb, :]  # (n, J)
+            cur[:, mb, :J] += rpq_a * (ca[:, None] * p)
+            cur[:, mb, 1:] += -rpq_b * (cb[:, None] * p)
+            if derivatives:
+                dp = dprev[:, :, mb, :]  # (n, 3, J)
+                dcur[:, :, mb, :J] += rpq_a * (
+                    dca[:, :, None] * p[:, None, :] + ca[:, None, None] * dp
+                )
+                dcur[:, :, mb, 1:] += -rpq_b * (
+                    dcb[:, :, None] * p[:, None, :] + cb[:, None, None] * dp
+                )
+        _apply_symmetry(cur, J, deriv=False)
+        if derivatives:
+            _apply_symmetry(dcur, J, deriv=True)
+        lo, hi = idx.idxu_block[J], idx.idxu_block[J + 1]
+        u_flat[:, lo:hi] = cur.reshape(n, -1)
+        if derivatives:
+            du_flat[:, :, lo:hi] = dcur.reshape(n, 3, -1)
+        prev = cur
+        dprev = dcur
+    return u_flat, du_flat

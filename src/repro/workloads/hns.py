@@ -1,0 +1,92 @@
+"""HNS-like CHNO molecular crystal surrogate (the ReaxFF benchmark).
+
+The paper benchmarks ReaxFF on hexanitrostilbene (HNS), a dense CHNO
+molecular crystal.  The real crystal structure is not reproducible offline,
+so per DESIGN.md's substitution table we generate a synthetic analogue that
+matches what the kernels care about: a ~0.084 atom/A^3 CHNO solid of
+covalently bonded chains (bond lengths ~1.3 A) embedded in a nonbonded
+matrix, yielding realistic bond counts, angle/torsion sparsity, and QEq
+matrix fill.
+
+Each "molecule" is a 6-atom zig-zag chain (types O-C-N-C-O-H, i.e.
+C2/H1/N1/O2 — close to HNS's C14H6N6O12 stoichiometry) laid on an orthorhombic
+molecular lattice; chain ends of adjacent molecules sit ~1.8 A apart, so
+weak inter-molecular bonds form a network, exercising the reactive
+(bond-forming) code path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: chain species pattern: engine types assuming the canonical mapping
+#: 1=C, 2=H, 3=N, 4=O (pair_coeff * * chno C H N O).  The O-C-N-C-O-H chain
+#: gives C2 H1 N1 O2 — close to HNS's C14 H6 N6 O12 stoichiometry.
+CHAIN_TYPES = np.array([4, 1, 3, 1, 4, 2], dtype=np.int32)
+#: intra-chain bond geometry
+BOND_DX = 1.1
+BOND_DY = 0.787  # bond length sqrt(1.1^2 + 0.787^2) ~ 1.353 A
+#: molecular lattice (A): chain axis x, packing y/z
+CELL = np.array([7.3, 3.2, 3.2])
+
+#: masses by engine type (C, H, N, O), g/mol
+HNS_MASSES = {1: 12.011, 2: 1.008, 3: 14.007, 4: 15.999}
+
+
+def hns_configuration(
+    nx: int, ny: int, nz: int, jitter: float = 0.05, seed: int = 12345
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """``(positions, types, box_hi)`` for an nx x ny x nz molecular lattice."""
+    if min(nx, ny, nz) < 1:
+        raise ValueError("need at least one molecular cell per direction")
+    natoms_chain = len(CHAIN_TYPES)
+    chain = np.zeros((natoms_chain, 3))
+    chain[:, 0] = np.arange(natoms_chain) * BOND_DX + 0.6
+    chain[:, 1] = np.where(np.arange(natoms_chain) % 2 == 0, 0.0, BOND_DY) + 1.2
+    chain[:, 2] = 1.6
+
+    ii, jj, kk = np.meshgrid(np.arange(nx), np.arange(ny), np.arange(nz), indexing="ij")
+    origins = np.stack([ii.ravel(), jj.ravel(), kk.ravel()], axis=1) * CELL
+    x = (origins[:, None, :] + chain[None, :, :]).reshape(-1, 3)
+    types = np.tile(CHAIN_TYPES, len(origins))
+
+    rng = np.random.default_rng(seed)
+    x = x + rng.uniform(-jitter, jitter, size=x.shape)
+    box_hi = CELL * np.array([nx, ny, nz])
+    return x, types, box_hi
+
+
+HNS_PREAMBLE = """\
+units real
+boundary p p p
+atom_style charge
+"""
+
+HNS_POSTAMBLE = """\
+mass 1 12.011
+mass 2 1.008
+mass 3 14.007
+mass 4 15.999
+velocity all create 300.0 9007
+pair_style {pair_style}
+pair_coeff * * chno C H N O
+neighbor 1.0 bin
+neigh_modify every 10 delay 0 check no
+timestep 0.1
+fix 1 all nve
+thermo 10
+"""
+
+
+def setup_hns(lmp, nx: int = 2, ny: int = 3, nz: int = 3, pair_style: str = "reaxff", seed: int = 12345) -> None:
+    """Drive ``lmp`` (Lammps or Ensemble) to a ready HNS-like configuration."""
+    x, types, box_hi = hns_configuration(nx, ny, nz, seed=seed)
+    lmp.commands_string(HNS_PREAMBLE)
+    lmp.commands_string(
+        f"region box block 0 {box_hi[0]} 0 {box_hi[1]} 0 {box_hi[2]}\n"
+        "create_box 4 box"
+    )
+    ranks = lmp.ranks if hasattr(lmp, "ranks") else [lmp]
+    for rank in ranks:
+        rank.create_atoms_from_arrays(x, types)
+    lmp.commands_string(HNS_POSTAMBLE.format(pair_style=pair_style))

@@ -1,0 +1,36 @@
+"""bcc tantalum workload (the SNAP benchmark).
+
+The paper's SNAP case study benchmarks the Thompson et al. Ta potential on
+bcc tantalum (a = 3.316 A).  Our SNAP coefficients are synthetic (DESIGN.md
+substitution table) but the crystal, neighbor statistics, and quantum-number
+index space match the production benchmark's shape.
+"""
+
+from __future__ import annotations
+
+TANTALUM_TEMPLATE = """\
+units metal
+boundary p p p
+lattice bcc 3.316
+region box block 0 {cells} 0 {cells} 0 {cells}
+create_box 1 box
+create_atoms 1 box
+mass 1 180.95
+velocity all create 600.0 4928459
+pair_style {pair_style} {twojmax} 4.7
+pair_coeff 1 1 0.5 1.0
+neighbor 1.0 bin
+neigh_modify every 20 delay 0 check no
+timestep 0.0005
+fix 1 all nve
+thermo 10
+"""
+
+
+def setup_tantalum(
+    lmp, cells: int = 4, pair_style: str = "snap", twojmax: int = 8
+) -> None:
+    """Drive ``lmp`` to a ready bcc-Ta SNAP configuration (2 atoms/cell)."""
+    lmp.commands_string(
+        TANTALUM_TEMPLATE.format(cells=cells, pair_style=pair_style, twojmax=twojmax)
+    )

@@ -1,0 +1,77 @@
+"""The ``python -m repro`` command-line entry point."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.__main__ import build_parser, main, resolve_device
+
+SCRIPT = """\
+units lj
+lattice fcc 0.8442
+region box block 0 ${cells} 0 ${cells} 0 ${cells}
+create_box 1 box
+create_atoms 1 box
+mass 1 1.0
+velocity all create 1.44 87287
+pair_style lj/cut 2.5
+pair_coeff 1 1 1.0 1.0
+fix 1 all nve
+thermo 10
+run 10
+"""
+
+
+@pytest.fixture
+def script(tmp_path):
+    p = tmp_path / "melt.in"
+    p.write_text(SCRIPT)
+    return str(p)
+
+
+class TestDeviceResolution:
+    def test_default_is_host(self):
+        assert resolve_device(None) is None
+
+    def test_k_off(self):
+        assert resolve_device(["off"]) is None
+
+    def test_k_on_default_gpu(self):
+        assert resolve_device(["on"]) == "H100"
+
+    def test_k_on_named_gpu(self):
+        assert resolve_device(["on", "gpu", "MI300A"]) == "MI300A"
+
+    def test_bad_k(self):
+        with pytest.raises(SystemExit):
+            resolve_device(["sideways"])
+
+
+class TestRuns:
+    def test_host_run(self, script, capsys):
+        assert main(["-in", script, "-var", "cells", "3", "--quiet"]) == 0
+
+    def test_kokkos_run(self, script):
+        assert main(
+            ["-in", script, "-k", "on", "-sf", "kk", "-var", "cells", "3", "--quiet"]
+        ) == 0
+
+    def test_multirank_run(self, script):
+        assert main(
+            ["-in", script, "-np", "2", "-var", "cells", "3", "--quiet"]
+        ) == 0
+
+    def test_thermo_printed_by_default(self, script, capsys):
+        main(["-in", script, "-var", "cells", "3"])
+        out = capsys.readouterr().out
+        assert "Step" in out and "etotal" in out
+
+    def test_missing_variable_surfaces_error(self, script):
+        from repro.core.errors import InputError
+
+        with pytest.raises(InputError, match="undefined variable"):
+            main(["-in", script, "--quiet"])  # ${cells} never defined
+
+    def test_missing_script_flag(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

@@ -1,0 +1,149 @@
+"""Ghost communication: borders, forward/reverse comm, migration, multi-rank."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import gather_by_tag, make_melt
+from repro.core import Ensemble, Lammps
+from repro.core.errors import CommError
+from repro.parallel.driver import drain, lockstep
+
+
+class TestSingleRankGhosts:
+    def test_ghost_shell_complete(self):
+        """Every position within the cutoff of a local atom is present."""
+        lmp = make_melt(cells=3)
+        lmp.command("run 0")
+        atom = lmp.atom
+        cutghost = lmp.pair.max_cutoff() + lmp.neighbor.skin
+        L = lmp.domain.lengths
+        x = atom.x[: atom.nall]
+        # brute-force: each local atom's periodic neighbors must appear as
+        # real entries (local or ghost) at the unwrapped position
+        xl = atom.x[: atom.nlocal]
+        for i in range(0, atom.nlocal, 17):
+            for j in range(atom.nlocal):
+                if i == j:
+                    continue
+                dx = xl[j] - xl[i]
+                shift = -L * np.round(dx / L)
+                target = xl[j] + shift
+                r = np.linalg.norm(target - xl[i])
+                if r < cutghost * 0.95:
+                    d = np.linalg.norm(x - target, axis=1)
+                    assert d.min() < 1e-9, (i, j, target)
+
+    def test_ghosts_carry_owner_tags(self):
+        lmp = make_melt(cells=2)
+        lmp.command("run 0")
+        atom = lmp.atom
+        ghost_tags = atom.tag[atom.nlocal : atom.nall]
+        assert set(ghost_tags) <= set(atom.tag[: atom.nlocal])
+
+    def test_forward_comm_refreshes_ghosts(self):
+        lmp = make_melt(cells=2)
+        lmp.command("run 0")
+        atom = lmp.atom
+        swap = lmp.comm_brick.swaps[0]
+        assert swap.sendlist.size > 0
+        k = swap.sendlist[0]
+        atom.x[k] += 0.001
+        drain(lmp.comm_brick.forward_comm(atom))
+        ghost = atom.x[swap.firstrecv]
+        expected = atom.x[k] + swap.shift
+        np.testing.assert_allclose(ghost, expected, atol=1e-12)
+
+    def test_reverse_comm_returns_ghost_forces(self):
+        lmp = make_melt(cells=2)
+        lmp.command("run 0")
+        atom = lmp.atom
+        atom.f[: atom.nall] = 0.0
+        g = atom.nlocal  # first ghost slot
+        atom.f[g] = [1.0, 2.0, 3.0]
+        owner = int(np.flatnonzero(atom.tag[: atom.nlocal] == atom.tag[g])[0])
+        drain(lmp.comm_brick.reverse_comm(atom, "f"))
+        np.testing.assert_allclose(atom.f[owner], [1.0, 2.0, 3.0])
+
+    def test_cutoff_exceeding_box_rejected(self):
+        lmp = Lammps(device=None)
+        lmp.commands_string(
+            "units lj\nlattice fcc 0.8442\nregion b block 0 1 0 1 0 1\n"
+            "create_box 1 b\ncreate_atoms 1 box\nmass 1 1.0\n"
+            "pair_style lj/cut 2.5\npair_coeff 1 1 1.0 1.0\nfix 1 all nve\n"
+        )
+        with pytest.raises(CommError, match="exceeds a box length"):
+            lmp.command("run 0")
+
+
+class TestMigration:
+    def test_atoms_move_to_owners(self):
+        ens = make_melt(cells=3, nranks=4)
+        ens.command("run 0")
+        # displace everything by a third of the box and migrate
+        for lmp in ens.ranks:
+            lmp.atom.x[: lmp.atom.nlocal] += lmp.domain.lengths / 3.0
+        lockstep(
+            [
+                lmp.comm_brick.exchange(lmp.atom, lmp.domain.wrap)
+                for lmp in ens.ranks
+            ]
+        )
+        total = 0
+        for lmp in ens.ranks:
+            atom = lmp.atom
+            owners = lmp.decomp.owner_of(atom.x[: atom.nlocal])
+            assert np.all(owners == lmp.comm_rank)
+            total += atom.nlocal
+        assert total == ens.ranks[0].natoms_total
+
+    def test_no_atoms_lost_in_long_run(self):
+        ens = make_melt(cells=3, nranks=2)
+        ens.command("run 30")
+        counts = sum(lmp.atom.nlocal for lmp in ens.ranks)
+        assert counts == ens.ranks[0].natoms_total
+        tags = np.sort(
+            np.concatenate([l.atom.tag[: l.atom.nlocal] for l in ens.ranks])
+        )
+        assert np.array_equal(tags, np.arange(1, counts + 1))
+
+
+class TestDecompositionEquivalence:
+    @pytest.mark.parametrize("nranks", [2, 3, 4, 8])
+    def test_trajectories_match_single_rank(self, nranks):
+        single = make_melt(cells=3)
+        single.command("run 25")
+        multi = make_melt(cells=3, nranks=nranks)
+        multi.command("run 25")
+        np.testing.assert_allclose(
+            gather_by_tag(multi, "x"), gather_by_tag(single, "x"), atol=1e-10
+        )
+        np.testing.assert_allclose(
+            gather_by_tag(multi, "f"), gather_by_tag(single, "f"), atol=1e-9
+        )
+
+    def test_energy_matches_across_decompositions(self):
+        single = make_melt(cells=3, thermo=20)
+        single.command("run 20")
+        multi = make_melt(cells=3, nranks=4, thermo=20)
+        multi.command("run 20")
+        e1 = single.thermo.history[-1]["etotal"]
+        e4 = multi.ranks[0].thermo.history[-1]["etotal"]
+        assert e4 == pytest.approx(e1, abs=1e-9)
+
+    def test_newton_off_multirank(self):
+        single = make_melt(cells=3)
+        single.command("newton off")
+        single.command("run 10")
+        multi = make_melt(cells=3, nranks=4)
+        multi.command("newton off")
+        multi.command("run 10")
+        np.testing.assert_allclose(
+            gather_by_tag(multi, "f"), gather_by_tag(single, "f"), atol=1e-9
+        )
+
+    def test_world_drains_after_run(self):
+        ens = make_melt(cells=2, nranks=2)
+        ens.command("run 5")
+        assert ens.world.pending_messages == 0

@@ -1,0 +1,178 @@
+"""Data files (read_data/write_data), dumps, and set charge."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import make_melt
+from repro.core import Lammps
+from repro.core.errors import InputError
+from repro.core.io import parse_data
+
+
+class TestDataRoundtrip:
+    def test_write_then_read_preserves_state(self, tmp_path):
+        src = make_melt(cells=2)
+        src.command("run 5")
+        path = str(tmp_path / "state.data")
+        src.command(f"write_data {path}")
+
+        dst = Lammps(device=None)
+        dst.commands_string(
+            "units lj\n"
+            f"read_data {path}\n"
+            "pair_style lj/cut 2.5\npair_coeff 1 1 1.0 1.0\nfix 1 all nve\nthermo 10"
+        )
+        assert dst.natoms_total == src.natoms_total
+        np.testing.assert_allclose(dst.atom.mass, src.atom.mass)
+        order_s = np.argsort(src.atom.tag[: src.atom.nlocal])
+        order_d = np.argsort(dst.atom.tag[: dst.atom.nlocal])
+        # read_data wraps into the primary box; compare wrapped coordinates
+        np.testing.assert_allclose(
+            dst.domain.wrap(dst.atom.x[: dst.atom.nlocal][order_d]),
+            src.domain.wrap(src.atom.x[: src.atom.nlocal][order_s]),
+            atol=1e-9,
+        )
+        np.testing.assert_allclose(
+            dst.atom.v[: dst.atom.nlocal][order_d],
+            src.atom.v[: src.atom.nlocal][order_s],
+            atol=1e-9,
+        )
+        # and the restarted system produces the same forces
+        src.command("run 0")
+        dst.command("run 0")
+        assert dst.pair.eng_vdwl == pytest.approx(src.pair.eng_vdwl, rel=1e-9)
+
+    def test_charge_style_roundtrip(self, tmp_path):
+        src = make_melt(cells=2)
+        src.command("set type 1 charge 0.25")
+        path = str(tmp_path / "charged.data")
+        src.command(f"write_data {path}")
+        data = parse_data(path)
+        assert np.all(data.q == 0.25)
+
+    def test_multirank_read_partitions_atoms(self, tmp_path):
+        src = make_melt(cells=2)
+        path = str(tmp_path / "m.data")
+        src.command(f"write_data {path}")
+        from repro.core import Ensemble
+
+        ens = Ensemble(2, device=None)
+        ens.commands_string(
+            "units lj\n"
+            f"read_data {path}\n"
+            "pair_style lj/cut 2.5\npair_coeff 1 1 1.0 1.0\nfix 1 all nve"
+        )
+        assert sum(l.atom.nlocal for l in ens.ranks) == src.natoms_total
+        ens.command("run 1")  # integrates cleanly
+
+    def test_ensemble_write_data(self, tmp_path):
+        from repro.core import Ensemble
+
+        ens = make_melt(cells=2, nranks=2)
+        ens.command("run 2")
+        path = str(tmp_path / "ens.data")
+        ens.write_data(path)
+        data = parse_data(path)
+        assert data.natoms == ens.ranks[0].natoms_total
+
+    def test_write_data_multirank_direct_rejected(self):
+        ens = make_melt(cells=2, nranks=2)
+        with pytest.raises(InputError, match="Ensemble.write_data"):
+            ens.ranks[0].command("write_data /tmp/should_fail.data")
+
+
+class TestParseErrors:
+    def write(self, tmp_path, text):
+        p = tmp_path / "bad.data"
+        p.write_text(text)
+        return str(p)
+
+    def test_missing_header(self, tmp_path):
+        path = self.write(tmp_path, "title\n\nAtoms\n\n1 1 0 0 0\n")
+        with pytest.raises(InputError, match="missing"):
+            parse_data(path)
+
+    def test_count_mismatch(self, tmp_path):
+        path = self.write(
+            tmp_path,
+            "t\n\n2 atoms\n1 atom types\n\n0 1 xlo xhi\n0 1 ylo yhi\n0 1 zlo zhi\n\n"
+            "Atoms\n\n1 1 0.1 0.1 0.1\n",
+        )
+        with pytest.raises(InputError, match="header says 2"):
+            parse_data(path)
+
+    def test_type_out_of_range(self, tmp_path):
+        path = self.write(
+            tmp_path,
+            "t\n\n1 atoms\n1 atom types\n\n0 1 xlo xhi\n0 1 ylo yhi\n0 1 zlo zhi\n\n"
+            "Atoms\n\n1 7 0.1 0.1 0.1\n",
+        )
+        with pytest.raises(InputError, match="type out of range"):
+            parse_data(path)
+
+    def test_garbage_header_line(self, tmp_path):
+        path = self.write(tmp_path, "t\n\nhello world\n")
+        with pytest.raises(InputError, match="unrecognized"):
+            parse_data(path)
+
+
+class TestDump:
+    def test_dump_frames_and_columns(self, tmp_path):
+        lmp = make_melt(cells=2)
+        path = str(tmp_path / "traj.dump")
+        lmp.command(f"dump d1 all custom 5 {path} id type x y z vx")
+        lmp.command("run 10")
+        text = open(path).read()
+        frames = text.count("ITEM: TIMESTEP")
+        assert frames == 3  # steps 0, 5, 10
+        assert "ITEM: ATOMS id type x y z vx" in text
+        first_atoms = text.split("ITEM: ATOMS id type x y z vx\n")[1].splitlines()
+        assert len(first_atoms[0].split()) == 6
+
+    def test_dump_group_filter(self, tmp_path):
+        lmp = make_melt(cells=2)
+        lmp.command("region half block 0 1 0 2 0 2")
+        lmp.command("group left region half")
+        path = str(tmp_path / "left.dump")
+        lmp.command(f"dump d1 left custom 100 {path} id x")
+        lmp.command("run 0")
+        text = open(path).read()
+        n = int(text.splitlines()[3])
+        assert 0 < n < lmp.atom.nlocal
+
+    def test_undump_stops_writing(self, tmp_path):
+        lmp = make_melt(cells=2)
+        path = str(tmp_path / "t.dump")
+        lmp.command(f"dump d1 all custom 1 {path}")
+        lmp.command("run 2")
+        lmp.command("undump d1")
+        size = len(open(path).read())
+        lmp.command("run 2")
+        assert len(open(path).read()) == size
+        with pytest.raises(InputError, match="unknown dump"):
+            lmp.command("undump d1")
+
+    def test_bad_columns(self, tmp_path):
+        lmp = make_melt(cells=2)
+        with pytest.raises(InputError, match="unknown columns"):
+            lmp.command(f"dump d1 all custom 5 {tmp_path}/x.dump id spin")
+
+    def test_duplicate_dump_id(self, tmp_path):
+        lmp = make_melt(cells=2)
+        lmp.command(f"dump d1 all custom 5 {tmp_path}/a.dump id")
+        with pytest.raises(InputError, match="duplicate dump"):
+            lmp.command(f"dump d1 all custom 5 {tmp_path}/b.dump id")
+
+
+class TestSetCharge:
+    def test_set_charge_by_type(self):
+        lmp = make_melt(cells=2)
+        lmp.command("set type 1 charge -0.5")
+        assert np.all(lmp.atom.q[: lmp.atom.nlocal] == -0.5)
+
+    def test_set_rejects_bad_type(self):
+        lmp = make_melt(cells=2)
+        with pytest.raises(InputError, match="out of range"):
+            lmp.command("set type 9 charge 1.0")

@@ -1,0 +1,179 @@
+"""Style registry / suffix resolution and the input-script parser."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import make_melt
+from repro.core import Lammps
+from repro.core.errors import InputError, StyleError
+from repro.core.input import safe_eval
+from repro.core.styles import PAIR_STYLES, register_pair, resolve_style
+from repro.potentials.lj import PairLJCut
+from repro.potentials.lj_kokkos import PairLJCutKokkos
+
+
+class TestSuffixResolution:
+    def test_plain_lookup(self):
+        cls, extra = resolve_style("pair", "lj/cut", None)
+        assert cls is PairLJCut and extra == {}
+
+    def test_kk_suffix_prefers_accelerated(self):
+        cls, _ = resolve_style("pair", "lj/cut", "kk")
+        assert cls is PairLJCutKokkos
+
+    def test_explicit_kk_device(self):
+        cls, extra = resolve_style("pair", "lj/cut/kk/device", None)
+        assert cls is PairLJCutKokkos and extra == {}
+
+    def test_explicit_kk_host(self):
+        cls, extra = resolve_style("pair", "lj/cut/kk/host", None)
+        assert cls is PairLJCutKokkos
+        assert extra == {"execution_space": "host"}
+
+    def test_kk_host_global_suffix(self):
+        cls, extra = resolve_style("pair", "lj/cut", "kk/host")
+        assert cls is PairLJCutKokkos
+        assert extra == {"execution_space": "host"}
+
+    def test_suffix_falls_back_when_no_accelerated_variant(self):
+        # table has no /kk registration: the suffix silently falls back,
+        # "without losing access" (section 3.1)
+        cls, _ = resolve_style("pair", "table", "kk")
+        assert cls.style_name == "table"
+
+    def test_unknown_style(self):
+        with pytest.raises(StyleError, match="unknown pair style"):
+            resolve_style("pair", "eam/alloy", None)
+
+    def test_unknown_category(self):
+        with pytest.raises(StyleError, match="category"):
+            resolve_style("bond", "harmonic", None)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(StyleError, match="duplicate"):
+            register_pair("lj/cut")(PairLJCut)
+
+    def test_registry_has_paper_styles(self):
+        for name in ("lj/cut", "lj/cut/kk", "eam/fs", "eam/fs/kk",
+                     "reaxff", "reaxff/kk", "snap", "snap/kk", "table"):
+            assert name in PAIR_STYLES
+
+
+class TestSafeEval:
+    def test_arithmetic(self):
+        assert safe_eval("2*(3+4)") == 14.0
+        assert safe_eval("-3**2") == -9.0
+        assert safe_eval("7 % 4 + 10 // 3") == 6.0
+
+    def test_rejects_calls_and_names(self):
+        with pytest.raises(InputError):
+            safe_eval("__import__('os')")
+        with pytest.raises(InputError):
+            safe_eval("x + 1")
+
+    def test_rejects_garbage(self):
+        with pytest.raises(InputError):
+            safe_eval("2 +")
+
+
+class TestParser:
+    def test_variables_and_substitution(self):
+        lmp = Lammps(device=None)
+        lmp.command("variable rho equal 0.8442")
+        lmp.command("variable half equal ${rho}/2")
+        assert lmp.variables["half"] == pytest.approx(0.4221)
+
+    def test_undefined_variable(self):
+        lmp = Lammps(device=None)
+        with pytest.raises(InputError, match="undefined variable"):
+            lmp.command("lattice fcc ${missing}")
+
+    def test_comments_and_continuations(self):
+        lmp = Lammps(device=None)
+        lmp.commands_string(
+            "variable a & \n equal 3 # trailing comment\n# full comment\n"
+        )
+        assert lmp.variables["a"] == 3.0
+
+    def test_unknown_command(self):
+        with pytest.raises(InputError, match="unknown command"):
+            Lammps(device=None).command("flux_capacitor on")
+
+    def test_bad_usage_messages(self):
+        lmp = Lammps(device=None)
+        with pytest.raises(InputError, match="usage"):
+            lmp.command("units")
+        with pytest.raises(InputError, match="only 3-D"):
+            lmp.command("dimension 2")
+        with pytest.raises(InputError, match="timestep"):
+            lmp.command("timestep -0.1")
+
+    def test_pair_coeff_before_style(self):
+        lmp = Lammps(device=None)
+        with pytest.raises(InputError, match="pair_coeff before pair_style"):
+            lmp.command("pair_coeff 1 1 1.0 1.0")
+
+    def test_region_scaled_by_lattice(self):
+        lmp = Lammps(device=None)
+        lmp.commands_string("units lj\nlattice fcc 0.8442\nregion r block 0 2 0 2 0 2")
+        a = (4 / 0.8442) ** (1 / 3)
+        assert lmp.regions["r"].hi[0] == pytest.approx(2 * a)
+
+    def test_duplicate_box(self):
+        lmp = Lammps(device=None)
+        lmp.commands_string(
+            "units lj\nlattice fcc 1.0\nregion b block 0 2 0 2 0 2\ncreate_box 1 b"
+        )
+        with pytest.raises(InputError, match="already exists"):
+            lmp.command("create_box 1 b")
+
+    def test_group_definitions(self):
+        lmp = make_melt(cells=2)
+        lmp.command("group ones type 1")
+        assert lmp.group_mask("ones").all()
+        lmp.command("region half block 0 1 0 2 0 2")
+        lmp.command("group left region half")
+        assert 0 < lmp.group_mask("left").sum() < lmp.atom.nlocal
+
+    def test_fix_unknown_group(self):
+        lmp = make_melt(cells=2)
+        with pytest.raises(InputError, match="unknown group"):
+            lmp.command("fix 2 ghosts nve")
+
+    def test_unfix(self):
+        lmp = make_melt(cells=2)
+        lmp.command("unfix 1")
+        with pytest.raises(InputError, match="unknown fix"):
+            lmp.command("unfix 1")
+
+    def test_thermo_style_custom(self):
+        lmp = make_melt(cells=2)
+        lmp.command("thermo_style custom temp pe")
+        lmp.command("run 0")
+        assert set(lmp.thermo.history[-1].values) >= {"temp", "pe"}
+
+    def test_neigh_modify(self):
+        lmp = Lammps(device=None)
+        lmp.command("neigh_modify every 5 delay 2 check no")
+        assert lmp.neighbor.every == 5
+        assert lmp.neighbor.delay == 2
+        assert lmp.neighbor.check is False
+        with pytest.raises(InputError, match="unknown keyword"):
+            lmp.command("neigh_modify sometimes yes")
+
+    def test_mass_wildcard(self):
+        lmp = Lammps(device=None)
+        lmp.commands_string(
+            "units lj\nlattice fcc 1.0\nregion b block 0 2 0 2 0 2\ncreate_box 3 b"
+        )
+        lmp.command("mass * 2.5")
+        assert np.all(lmp.atom.mass[1:] == 2.5)
+
+    def test_suffix_command(self):
+        lmp = Lammps(device="H100")
+        lmp.command("suffix kk")
+        assert lmp.suffix == "kk"
+        lmp.command("suffix off")
+        assert lmp.suffix is None

@@ -1,0 +1,143 @@
+"""funcfl-tabulated EAM: parsing, splines, equivalence with the analytic form."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import fd_force_check, gather_by_tag
+from repro.core import Lammps
+from repro.core.errors import InputError
+from repro.potentials.eam_file import HARTREE_BOHR, parse_funcfl, write_funcfl
+
+CUTOFF = 4.5
+A_EMBED, C_PAIR = 2.0, 0.3
+
+
+def analytic_funcfl(path: str) -> None:
+    """funcfl encoding of the analytic eam/fs test potential."""
+    write_funcfl(
+        str(path),
+        element="Ni",
+        mass=58.7,
+        cutoff=CUTOFF,
+        f_of_rho=lambda rho: -A_EMBED * np.sqrt(rho),
+        # phi = c (rc - r)^2  ->  Z = sqrt(phi r / (hartree bohr))
+        z_of_r=lambda r: np.sqrt(C_PAIR * (CUTOFF - r) ** 2 * r / HARTREE_BOHR),
+        rho_of_r=lambda r: (CUTOFF - r) ** 2,
+        nrho=800,
+        rho_max=60.0,
+        nr=800,
+    )
+
+
+def make_file_eam(path, cells=3):
+    lmp = Lammps(device=None)
+    lmp.commands_string(
+        f"units metal\nlattice fcc 3.52\nregion b block 0 {cells} 0 {cells} 0 {cells}\n"
+        "create_box 1 b\ncreate_atoms 1 box\nmass 1 58.7\n"
+        "velocity all create 600 12345\n"
+        f"pair_style eam\npair_coeff * * {path}\n"
+        "neighbor 1.0 bin\nfix 1 all nve\nthermo 10"
+    )
+    return lmp
+
+
+def make_analytic_eam(cells=3):
+    lmp = Lammps(device=None)
+    lmp.commands_string(
+        f"units metal\nlattice fcc 3.52\nregion b block 0 {cells} 0 {cells} 0 {cells}\n"
+        "create_box 1 b\ncreate_atoms 1 box\nmass 1 58.7\n"
+        "velocity all create 600 12345\n"
+        f"pair_style eam/fs {CUTOFF}\npair_coeff * * {A_EMBED} {C_PAIR}\n"
+        "neighbor 1.0 bin\nfix 1 all nve\nthermo 10"
+    )
+    return lmp
+
+
+class TestFuncflFormat:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "ni.funcfl"
+        analytic_funcfl(path)
+        t = parse_funcfl(str(path))
+        assert t.mass == pytest.approx(58.7)
+        assert t.cutoff == pytest.approx(CUTOFF)
+        assert t.nrho == 800 and t.nr == 800
+        # spot-check the tabulated functions
+        r = 2.0
+        idx = int(round(r / t.dr))
+        assert t.rho_r[idx] == pytest.approx((CUTOFF - idx * t.dr) ** 2)
+
+    def test_truncated_file_rejected(self, tmp_path):
+        p = tmp_path / "bad.funcfl"
+        p.write_text("comment\n1 58.7 1.0 fcc\n10 0.1 10 0.1 4.5\n1.0\n2.0\n")
+        with pytest.raises(InputError, match="table values"):
+            parse_funcfl(str(p))
+
+    def test_bad_grid_line(self, tmp_path):
+        p = tmp_path / "bad.funcfl"
+        p.write_text("comment\n1 58.7 1.0 fcc\n10 0.1 10\n")
+        with pytest.raises(InputError, match="grid line"):
+            parse_funcfl(str(p))
+
+
+class TestTabulatedMatchesAnalytic:
+    def test_energy_and_forces_match(self, tmp_path):
+        path = tmp_path / "ni.funcfl"
+        analytic_funcfl(path)
+        tab = make_file_eam(path)
+        ana = make_analytic_eam()
+        tab.command("run 0")
+        ana.command("run 0")
+        assert tab.pair.eng_vdwl == pytest.approx(ana.pair.eng_vdwl, rel=1e-5)
+        np.testing.assert_allclose(
+            tab.atom.f[: tab.atom.nlocal], ana.atom.f[: ana.atom.nlocal],
+            atol=1e-4,
+        )
+
+    def test_trajectories_track(self, tmp_path):
+        path = tmp_path / "ni.funcfl"
+        analytic_funcfl(path)
+        tab = make_file_eam(path)
+        ana = make_analytic_eam()
+        tab.command("run 10")
+        ana.command("run 10")
+        np.testing.assert_allclose(
+            gather_by_tag(tab, "x"), gather_by_tag(ana, "x"), atol=1e-6
+        )
+
+    def test_fd_forces_on_splines(self, tmp_path):
+        path = tmp_path / "ni.funcfl"
+        analytic_funcfl(path)
+        lmp = make_file_eam(path)
+        lmp.command("run 3")
+        assert fd_force_check(lmp, [0, 21]) < 1e-5
+
+    def test_nve_conservation(self, tmp_path):
+        path = tmp_path / "ni.funcfl"
+        analytic_funcfl(path)
+        lmp = make_file_eam(path)
+        lmp.command("thermo 50")
+        lmp.command("run 50")
+        h = lmp.thermo.history
+        assert abs(h[-1]["etotal"] - h[0]["etotal"]) / abs(h[0]["etotal"]) < 1e-4
+
+
+class TestValidation:
+    def test_coeff_before_run(self, tmp_path):
+        lmp = Lammps(device=None)
+        lmp.commands_string(
+            "units metal\nlattice fcc 3.52\nregion b block 0 2 0 2 0 2\n"
+            "create_box 1 b\ncreate_atoms 1 box\nmass 1 58.7\n"
+            "pair_style eam\nfix 1 all nve"
+        )
+        with pytest.raises(InputError, match="funcfl"):
+            lmp.command("run 0")
+
+    def test_style_takes_no_args(self):
+        lmp = Lammps(device=None)
+        lmp.commands_string(
+            "units metal\nregion b block 0 9 0 9 0 9\ncreate_box 1 b"
+        )
+        with pytest.raises(InputError, match="takes no arguments"):
+            lmp.command("pair_style eam 4.5")

@@ -1,0 +1,151 @@
+"""Failure injection and guard-rail coverage across the engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import make_melt
+from repro.core import Lammps
+from repro.core.errors import CommError, NeighborError, OverflowGuardError
+
+
+class TestLostAndCorruptState:
+    def test_forward_comm_detects_changed_ghost_counts(self):
+        lmp = make_melt(cells=2)
+        lmp.command("run 0")
+        # sabotage: shrink a recorded swap's expectation
+        lmp.comm_brick.swaps[0].nrecv += 1
+        from repro.parallel.driver import drain
+
+        with pytest.raises(CommError, match="size changed"):
+            drain(lmp.comm_brick.forward_comm(lmp.atom))
+
+    def test_exploding_dynamics_surfaces_as_numbers_not_hangs(self):
+        lmp = make_melt(cells=2)
+        lmp.command("velocity all create 1e6 1")  # absurd temperature
+        lmp.command("neigh_modify every 1 delay 0 check yes")
+        # atoms fly across the box; migration keeps every atom accounted for
+        lmp.command("timestep 1e-6")
+        lmp.command("run 5")
+        assert lmp.atom.nlocal == lmp.natoms_total
+
+    def test_overflow_guard_on_neighbor_index_width(self):
+        from repro.core import neighbor as nb
+
+        x = np.zeros((4, 3))
+        # fake an absurd nall by monkeypatching the check threshold is not
+        # possible cheaply; instead verify the guard exists and fires on the
+        # documented condition via a constructed sparse case
+        with pytest.raises(NeighborError):
+            nb.build_neighbor_list(x, 10, 1.0)  # nlocal > nall
+
+    def test_atom_capacity_growth_under_migration_burst(self):
+        lmp = make_melt(cells=2, nranks=2)
+        lmp.command("run 0")  # establishes the communication bricks
+        # push all atoms into rank 0's subdomain and migrate
+        lo, hi = lmp.ranks[0].decomp.subdomain(0)
+        center = (lo + hi) / 2.0
+        for r in lmp.ranks:
+            r.atom.x[: r.atom.nlocal] = center
+        from repro.parallel.driver import lockstep
+
+        lockstep(
+            [r.comm_brick.exchange(r.atom, r.domain.wrap) for r in lmp.ranks]
+        )
+        counts = [r.atom.nlocal for r in lmp.ranks]
+        assert sum(counts) == lmp.ranks[0].natoms_total
+        assert max(counts) == lmp.ranks[0].natoms_total  # all on one rank
+
+
+class TestSNAPAdjointConsistency:
+    @given(seed=st.integers(0, 500))
+    @settings(max_examples=8, deadline=None)
+    def test_y_adjoints_are_energy_gradients_in_u(self, seed):
+        """Y12/Y3 must be the exact partials of E = beta . B w.r.t. U/U*."""
+        from repro.snap.bispectrum import compute_bispectrum
+        from repro.snap.compute_ui import compute_ui
+        from repro.snap.compute_yi import compute_yi
+        from repro.snap.indexing import SnapIndex
+        from repro.snap.pair_snap import synthetic_beta
+
+        tj = 4
+        idx = SnapIndex(tj)
+        beta = synthetic_beta(idx.nbispectrum, 1.0, seed=seed % 97 + 1)
+        rng = np.random.default_rng(seed)
+        rij = rng.normal(size=(6, 3))
+        rij *= 3.0 / np.linalg.norm(rij, axis=1, keepdims=True)
+        U, _, _ = compute_ui(rij, np.zeros(6, dtype=int), 1, 4.7, tj)
+        Y12, Y3 = compute_yi(U, beta, tj)
+
+        # evaluate E = Re(sum beta C u1 u2 conj(u3)) directly from the
+        # contraction tensor, so arbitrary (off-manifold) perturbations of
+        # U are well defined
+        t = idx.tensor
+        w = beta[t.ib] * t.coeff
+
+        def energy(u):
+            return float(
+                np.real((w * u[0, t.in1] * u[0, t.in2] * np.conj(u[0, t.out])).sum())
+            )
+
+        eps = 1e-7
+        for m in rng.integers(0, idx.idxu_max, size=4):
+            # dE/d(Re u_m) = Re(Y12 + Y3); dE/d(Im u_m) = Re(i (Y12 - Y3))
+            for part, expect in (
+                (1.0, np.real(Y12[0, m] + Y3[0, m])),
+                (1j, np.real(1j * (Y12[0, m] - Y3[0, m]))),
+            ):
+                up = U.copy()
+                up[0, m] += part * eps
+                um = U.copy()
+                um[0, m] -= part * eps
+                fd = (energy(up) - energy(um)) / (2 * eps)
+                assert fd == pytest.approx(expect, rel=1e-4, abs=1e-8)
+
+
+class TestEwaldAccounting:
+    def test_kernels_charged_with_kokkos_pair(self):
+        import repro.kokkos as kk
+
+        lmp = Lammps(device="H100", suffix="kk")
+        lmp.commands_string(
+            "units lj\nregion b block 0 4 0 4 0 4\ncreate_box 2 b"
+        )
+        pts, types = [], []
+        for i in range(4):
+            for j in range(4):
+                for k in range(4):
+                    pts.append([i, j, k])
+                    types.append(1 + (i + j + k) % 2)
+        lmp.create_atoms_from_arrays(np.array(pts, float), np.array(types))
+        # lj/cut/coul/cut/kk is kokkos-active; attach ewald on top of the
+        # short-range style (physically double-counted Coulomb, but this
+        # test only checks the accounting plumbing)
+        lmp.commands_string(
+            "mass * 1.0\nkspace_style ewald 1e-3\n"
+            "pair_style lj/cut/coul/long 0.9 1.9\npair_coeff * * 0.0 1.0\n"
+            "set type 1 charge 1.0\nset type 2 charge -1.0\n"
+            "neighbor 0.1 bin\nfix 1 all nve"
+        )
+        lmp.command("run 1")
+        # the plain long style is not kokkos; ewald charges only when a
+        # kokkos style is active -> no device kernels is the correct outcome
+        tl = kk.device_context().timeline
+        assert "EwaldStructureFactor" not in tl.entries
+
+    def test_reduce_protocol_single_vs_two_rank_energy(self):
+        import sys
+
+        sys.path.insert(0, "tests")
+        from test_kspace_ewald import rocksalt, total_coulomb
+
+        single = rocksalt(jiggle=0.03, seed=7)
+        single.command("run 0")
+        multi = rocksalt(jiggle=0.03, seed=7, nranks=2)
+        multi.command("run 0")
+        e1 = total_coulomb(single)
+        e2 = sum(l.pair.eng_coul + l.kspace.energy_local for l in multi.ranks)
+        assert e2 == pytest.approx(e1, rel=1e-10)

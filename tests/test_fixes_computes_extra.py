@@ -1,0 +1,181 @@
+"""Extra fixes (nvt, temp/rescale, addforce, viscous, spring/self) and
+computes (msd, rdf)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import make_melt
+from repro.core import Lammps
+from repro.core.errors import InputError
+
+
+def mean_temp(lmp, last=3):
+    return float(np.mean([r["temp"] for r in lmp.thermo.history[-last:]]))
+
+
+class TestFixNVT:
+    def test_thermostats_to_target(self):
+        lmp = make_melt(cells=3, thermo=100)
+        lmp.command("unfix 1")
+        lmp.command("velocity all create 0.3 11")
+        # short damping: a single Nose-Hoover chain on a small cell rings
+        # for many periods otherwise (the classic NH pathology)
+        lmp.command("fix 1 all nvt temp 1.5 1.5 0.1")
+        lmp.command("run 600")
+        assert mean_temp(lmp) == pytest.approx(1.5, rel=0.3)
+
+    def test_cools_hot_system(self):
+        lmp = make_melt(cells=3, thermo=50)
+        lmp.command("unfix 1")
+        lmp.command("velocity all create 4.0 11")
+        lmp.command("fix 1 all nvt temp 0.7 0.7 0.1")
+        lmp.command("run 300")
+        assert mean_temp(lmp) < 1.5
+
+    def test_validation(self):
+        lmp = make_melt(cells=2)
+        with pytest.raises(InputError):
+            lmp.command("fix t all nvt temp 1.0 1.0 -0.5")
+        with pytest.raises(InputError):
+            lmp.command("fix t all nvt 1.0 1.0 0.5")  # missing 'temp'
+
+
+class TestFixTempRescale:
+    def test_rescales_toward_target(self):
+        lmp = make_melt(cells=3, thermo=20)
+        lmp.command("velocity all create 3.0 5")
+        lmp.command("fix rs all temp/rescale 5 1.0 1.0 0.05 1.0")
+        lmp.command("run 100")
+        assert mean_temp(lmp, last=2) == pytest.approx(1.0, rel=0.25)
+
+    def test_window_suppresses_action(self):
+        lmp = make_melt(cells=2)
+        lmp.command("velocity all create 1.0 5")
+        lmp.command("fix rs all temp/rescale 1 1.0 1.0 100.0 1.0")  # huge window
+        v0 = lmp.atom.v[: lmp.atom.nlocal].copy()
+        tags0 = lmp.atom.tag[: lmp.atom.nlocal].copy()
+        lmp.command("neigh_modify every 1000 delay 1000 check no")
+        lmp.command("run 0")
+        # end_of_step never fires on run 0; directly exercise the window
+        lmp.modify.get_fix("rs").end_of_step()
+        order = np.argsort(tags0)
+        np.testing.assert_array_equal(
+            lmp.atom.v[: lmp.atom.nlocal][order], v0[order]
+        )
+
+    def test_validation(self):
+        lmp = make_melt(cells=2)
+        with pytest.raises(InputError):
+            lmp.command("fix rs all temp/rescale 0 1.0 1.0 0.1 0.5")
+        with pytest.raises(InputError):
+            lmp.command("fix rs all temp/rescale 5 1.0 1.0 0.1 1.5")
+
+
+class TestForceModifierFixes:
+    def test_addforce_uniform_acceleration(self):
+        lmp = make_melt(cells=2)
+        lmp.command("fix g all addforce 0.0 0.0 -1.5")
+        lmp.command("run 1")
+        # total z-force = pair forces (sum zero) + N * (-1.5)
+        fz = lmp.atom.f[: lmp.atom.nlocal, 2].sum()
+        assert fz == pytest.approx(-1.5 * lmp.atom.nlocal, rel=1e-9)
+
+    def test_viscous_drains_energy(self):
+        lmp = make_melt(cells=3, thermo=50)
+        lmp.command("fix drag all viscous 2.0")
+        lmp.command("run 100")
+        h = lmp.thermo.history
+        assert h[-1]["etotal"] < h[0]["etotal"]
+        assert h[-1]["temp"] < h[0]["temp"]
+
+    def test_spring_self_restores_positions(self):
+        lmp = make_melt(cells=2, thermo=100)
+        lmp.command("velocity all create 0.05 3")
+        lmp.command("fix tether all spring/self 50.0")
+        lmp.command("fix drag all viscous 5.0")
+        x0 = {int(t): lmp.atom.x[i].copy()
+              for i, t in enumerate(lmp.atom.tag[: lmp.atom.nlocal])}
+        lmp.command("run 300")
+        # overdamped tethered dynamics: atoms relax back near their anchors
+        disp = []
+        for i in range(lmp.atom.nlocal):
+            anchor = x0[int(lmp.atom.tag[i])]
+            disp.append(np.linalg.norm(
+                lmp.domain.minimum_image(lmp.atom.x[i] - anchor)))
+        assert max(disp) < 0.2
+
+    def test_validation(self):
+        lmp = make_melt(cells=2)
+        with pytest.raises(InputError):
+            lmp.command("fix v all viscous -1.0")
+        with pytest.raises(InputError):
+            lmp.command("fix s all spring/self -2.0")
+
+
+class TestComputeMSD:
+    def test_zero_for_frozen_system(self):
+        lmp = make_melt(cells=2)
+        lmp.atom.v[:] = 0.0
+        lmp.command("unfix 1")  # no integration at all
+        lmp.command("compute m all msd")
+        lmp.command("fix 1 all setforce 0 0 0")
+        comp = lmp.modify.get_compute("m")
+        assert comp.finalize(comp.local_partials()) == pytest.approx(0.0, abs=1e-20)
+
+    def test_grows_in_liquid(self):
+        lmp = make_melt(cells=3)
+        lmp.command("compute m all msd")
+        comp = lmp.modify.get_compute("m")
+        lmp.command("run 20")
+        early = comp.finalize(comp.local_partials())
+        lmp.command("run 60")
+        late = comp.finalize(comp.local_partials())
+        assert late > early > 0
+
+    def test_unwraps_through_periodic_boundary(self):
+        lmp = Lammps(device=None)
+        lmp.commands_string(
+            "units lj\nregion b block 0 5 0 5 0 5\ncreate_box 1 b"
+        )
+        lmp.create_atoms_from_arrays(np.array([[4.9, 2.5, 2.5]]), np.array([1]))
+        lmp.commands_string(
+            "mass 1 1.0\npair_style lj/cut 1.0\npair_coeff 1 1 0.0 1.0\n"
+            "compute m all msd\nfix 1 all nve"
+        )
+        lmp.atom.v[0] = [1.0, 0.0, 0.0]
+        lmp.command("timestep 0.05")
+        lmp.command("run 10")  # crosses x = 5 -> wraps to ~0.4
+        comp = lmp.modify.get_compute("m")
+        msd = comp.finalize(comp.local_partials())
+        assert msd == pytest.approx(0.25, rel=1e-6)  # (v t)^2, unwrapped
+
+
+class TestComputeRDF:
+    def test_fcc_first_peak_at_nearest_neighbor(self):
+        lmp = make_melt(cells=3)
+        lmp.command("compute g all rdf 60")
+        lmp.command("run 0")
+        comp = lmp.modify.get_compute("g")
+        r, g = comp.histogram()
+        a = (4 / 0.8442) ** (1 / 3)
+        nn = a / np.sqrt(2)  # fcc nearest-neighbor distance
+        peak_r = r[np.argmax(g)]
+        assert peak_r == pytest.approx(nn, abs=r[1] - r[0])
+        assert g.max() > 3.0  # sharp crystalline peak
+
+    def test_normalization_tail_near_one_in_liquid(self):
+        lmp = make_melt(cells=4)
+        lmp.command("compute g all rdf 50")
+        lmp.command("run 30")
+        comp = lmp.modify.get_compute("g")
+        r, g = comp.histogram()
+        # g(r) -> 1 well beyond the first shells
+        tail = g[(r > 2.0) & (r < 2.4)]
+        assert np.mean(tail) == pytest.approx(1.0, rel=0.2)
+
+    def test_validation(self):
+        lmp = make_melt(cells=2)
+        with pytest.raises(InputError):
+            lmp.command("compute g all rdf 1")

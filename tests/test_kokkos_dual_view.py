@@ -1,0 +1,108 @@
+"""DualView modify/sync protocol (paper section 3.2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.kokkos as kk
+
+
+@pytest.fixture(autouse=True)
+def _runtime():
+    kk.initialize("H100")
+    yield
+    kk.finalize()
+
+
+class TestSyncProtocol:
+    def test_fresh_dualview_needs_no_sync(self):
+        dv = kk.DualView((4,), label="f")
+        assert not dv.need_sync_host()
+        assert not dv.need_sync_device()
+
+    def test_host_modify_marks_device_stale(self):
+        dv = kk.DualView((4,), label="x")
+        dv.h_view.data[:] = 3.0
+        dv.modify_host()
+        assert dv.need_sync_device()
+        assert not dv.need_sync_host()
+
+    def test_sync_moves_data_once(self):
+        dv = kk.DualView((4,), label="x")
+        dv.h_view.data[:] = 3.0
+        dv.modify_host()
+        assert dv.sync_device() is True
+        assert np.all(dv.d_view.data == 3.0)
+        # second sync is a no-op — the core promise of section 3.2
+        assert dv.sync_device() is False
+
+    def test_sync_in_current_space_never_transfers(self):
+        dv = kk.DualView((4,), label="x")
+        dv.h_view.data[:] = 1.0
+        dv.modify_host()
+        assert dv.sync_host() is False  # host already current
+
+    def test_roundtrip(self):
+        dv = kk.DualView((3,), label="q")
+        dv.h_view.data[:] = 1.0
+        dv.modify_host()
+        dv.sync_device()
+        dv.d_view.data[:] += 1.0
+        dv.modify_device()
+        dv.sync_host()
+        assert np.all(dv.h_view.data == 2.0)
+
+    def test_conflicting_modify_raises(self):
+        dv = kk.DualView((3,), label="x")
+        dv.modify_host()
+        with pytest.raises(RuntimeError, match="sync first"):
+            dv.modify_device()
+
+    def test_clear_sync_state(self):
+        dv = kk.DualView((3,), label="x")
+        dv.modify_host()
+        dv.clear_sync_state()
+        assert not dv.need_sync_device()
+
+
+class TestTransferAccounting:
+    def test_sync_charges_transfer_time(self):
+        ctx = kk.device_context()
+        dv = kk.DualView((1000,), label="big")
+        dv.modify_host()
+        before = ctx.timeline.total()
+        dv.sync_device()
+        assert ctx.timeline.total() > before
+        assert any("dualview_sync" in k for k in ctx.timeline.entries)
+
+
+class TestHostOnlyBuild:
+    def test_views_alias_in_host_build(self):
+        kk.initialize(None)  # pure host: sync machinery must cost nothing
+        dv = kk.DualView((4,), label="x")
+        assert dv.d_view is dv.h_view
+        dv.h_view.data[:] = 5.0
+        dv.modify_host()
+        ctx = kk.device_context()
+        before = ctx.timeline.total()
+        dv.sync_device()
+        assert ctx.timeline.total() == before  # zero overhead
+        assert np.all(dv.d_view.data == 5.0)
+
+
+class TestResize:
+    def test_resize_synced_ok(self):
+        dv = kk.DualView((3,), label="x")
+        dv.h_view.data[:] = [1, 2, 3]
+        dv.modify_host()
+        dv.sync_device()
+        dv.resize(5)
+        assert dv.shape == (5,)
+        assert list(dv.h_view.data[:3]) == [1, 2, 3]
+
+    def test_resize_with_pending_sync_raises(self):
+        dv = kk.DualView((3,), label="x")
+        dv.modify_host()
+        with pytest.raises(RuntimeError, match="unsynced"):
+            dv.resize(5)

@@ -1,0 +1,133 @@
+"""Views: layouts, resize semantics, mirrors, aliasing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.kokkos as kk
+from repro.kokkos.layout import LayoutLeft, LayoutRight, default_layout
+
+
+@pytest.fixture(autouse=True)
+def _runtime():
+    kk.initialize("H100")
+    yield
+    kk.finalize()
+
+
+class TestLayouts:
+    def test_default_layouts_per_space(self):
+        assert default_layout(kk.Host) is LayoutRight
+        assert default_layout(kk.Device) is LayoutLeft
+
+    def test_host_view_is_c_contiguous(self):
+        v = kk.View((5, 3), space=kk.Host)
+        assert v.data.flags["C_CONTIGUOUS"]
+
+    def test_device_view_is_f_contiguous(self):
+        v = kk.View((5, 3), space=kk.Device)
+        assert v.data.flags["F_CONTIGUOUS"]
+
+    def test_layout_changes_strides(self):
+        h = kk.View((100, 3), space=kk.Host)
+        d = kk.View((100, 3), space=kk.Device)
+        # Host: rows contiguous.  Device: columns contiguous (interleaved
+        # rows), the neighbor-list coalescing layout of paper section 4.1.
+        assert h.data.strides[1] < h.data.strides[0]
+        assert d.data.strides[0] < d.data.strides[1]
+
+
+class TestViewBasics:
+    def test_scalar_shape_promotion(self):
+        v = kk.View(7)
+        assert v.shape == (7,)
+        assert len(v) == 7
+
+    def test_extent_and_rank(self):
+        v = kk.View((4, 5, 6))
+        assert v.rank == 3
+        assert [v.extent(d) for d in range(3)] == [4, 5, 6]
+
+    def test_indexing_roundtrip(self):
+        v = kk.View((3, 3))
+        v[1, 2] = 4.5
+        assert v[1, 2] == 4.5
+
+    def test_fill(self):
+        v = kk.View((4,))
+        v.fill(2.0)
+        assert np.all(v.data == 2.0)
+
+    def test_wrap_existing_data_no_copy(self):
+        base = np.zeros((4, 3))
+        v = kk.View((4, 3), data=base, space=kk.Host)
+        v[0, 0] = 9.0
+        assert base[0, 0] == 9.0  # aliased, not copied
+
+    def test_wrap_shape_mismatch_raises(self):
+        with pytest.raises(ValueError, match="data shape"):
+            kk.View((4, 3), data=np.zeros((5, 3)))
+
+    def test_array_protocol(self):
+        v = kk.View((3,))
+        v.fill(1.0)
+        assert np.asarray(v).sum() == 3.0
+
+
+class TestResize:
+    def test_grow_preserves_contents(self):
+        v = kk.View((3,), label="x")
+        v.data[:] = [1, 2, 3]
+        v.resize(5)
+        assert list(v.data[:3]) == [1, 2, 3]
+        assert list(v.data[3:]) == [0, 0]
+
+    def test_shrink_truncates(self):
+        v = kk.View((4, 2))
+        v.data[...] = np.arange(8).reshape(4, 2)
+        v.resize((2, 2))
+        assert v.shape == (2, 2)
+        assert v.data[1, 1] == 3
+
+    @given(
+        old=st.integers(1, 40),
+        new=st.integers(1, 40),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_resize_overlap_property(self, old, new):
+        kk.initialize("H100")
+        v = kk.View((old,))
+        v.data[:] = np.arange(old)
+        v.resize(new)
+        keep = min(old, new)
+        assert np.array_equal(v.data[:keep], np.arange(keep))
+        assert np.all(v.data[keep:] == 0)
+
+
+class TestCopying:
+    def test_deep_copy(self):
+        src = kk.View((4, 3), space=kk.Host)
+        src.data[...] = 1.5
+        dst = kk.View((4, 3), space=kk.Device)
+        kk.deep_copy(dst, src)
+        assert np.all(dst.data == 1.5)
+
+    def test_deep_copy_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shape mismatch"):
+            kk.deep_copy(kk.View((3,)), kk.View((4,)))
+
+    def test_mirror_view_matches_extents_in_other_space(self):
+        d = kk.View((6, 2), space=kk.Device)
+        h = kk.create_mirror_view(kk.Host, d)
+        assert h.shape == d.shape
+        assert h.space is kk.Host
+
+    def test_copy_is_independent(self):
+        v = kk.View((3,))
+        v.fill(1.0)
+        c = v.copy()
+        c.fill(2.0)
+        assert v.data[0] == 1.0
