@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from conftest import emit
 
-from repro.bench import format_series, strong_scaling_curve
+from repro.bench import format_overlap_report, format_series, overlap_report, strong_scaling_curve
 from repro.bench.scaling import parallel_efficiency
 from repro.hardware import get_machine
 
@@ -68,3 +68,41 @@ def test_fig6_strong_scaling(lj_ref, snap_ref, reax_ref, benchmark):
     # outruns Frontier everywhere (MI300A vs one MI250X GCD)
     for w, _ in WORKLOADS:
         assert peak(curves[("elcapitan", w)]) > peak(curves[("frontier", w)]), w
+
+
+def test_fig6_overlap_hides_halo(lj_ref, snap_ref, reax_ref, benchmark):
+    """Comm/compute overlap strictly improves the modeled step time.
+
+    With the halo hidden behind the interior pass, every multi-rank point
+    (>= 4 ranks in particular) gets ``max(comm, interior) + boundary``
+    instead of ``comm + interior + boundary`` — strictly faster whenever
+    both the position halo and the interior pass take non-zero time.
+    """
+    refs = {"LJ": lj_ref, "SNAP": snap_ref, "ReaxFF": reax_ref}
+
+    def run():
+        return {
+            (m, w): overlap_report(refs[w], get_machine(m), natoms, NODE_COUNTS)
+            for m in MACHINES
+            for w, natoms in WORKLOADS
+        }
+
+    reports = benchmark(run)
+    for w, natoms in WORKLOADS:
+        emit(format_overlap_report(w, "frontier", reports[("frontier", w)]))
+
+    for (m, w), rows in reports.items():
+        machine = get_machine(m)
+        for row in rows:
+            if row["ranks"] < 4:
+                continue
+            assert row["step_time_on"] < row["step_time_off"], (m, w, row)
+            assert 0.0 < row["interior_fraction"] < 1.0, (m, w, row)
+            # the gain is exactly the hidden communication time
+            gain = row["step_time_off"] - row["step_time_on"]
+            assert abs(gain - row["hidden_comm"]) < 1e-12, (m, w, row)
+        # overlap matters most in the strong-scaling tail: the last point's
+        # speedup should be at least as large as the first multi-rank one
+        multi = [r for r in rows if r["ranks"] >= 4]
+        if len(multi) >= 2:
+            assert multi[-1]["speedup"] >= 1.0 and multi[0]["speedup"] >= 1.0

@@ -15,8 +15,15 @@ from repro.bench.runner import (
     ReferenceRun,
     SNAPBenchmark,
     POTENTIAL_BENCHMARKS,
+    format_overlap_report,
+    overlap_report,
 )
-from repro.bench.scaling import strong_scaling_curve, cluster_step_time
+from repro.bench.scaling import (
+    cluster_step_breakdown,
+    cluster_step_time,
+    interior_fraction,
+    strong_scaling_curve,
+)
 from repro.bench.reporting import format_table, format_series
 
 __all__ = [
@@ -27,6 +34,10 @@ __all__ = [
     "POTENTIAL_BENCHMARKS",
     "strong_scaling_curve",
     "cluster_step_time",
+    "cluster_step_breakdown",
+    "interior_fraction",
+    "overlap_report",
+    "format_overlap_report",
     "format_table",
     "format_series",
 ]

@@ -53,6 +53,10 @@ class CommModel:
     kernels_per_halo: int = 12
     #: device kernels per iterative round (spmv, dots, axpys)
     iterative_kernel_launches: int = 11
+    #: kernel-name prefixes whose work splits into interior/boundary passes
+    #: when comm/compute overlap is on (the first ghost-reading kernel of
+    #: the step; everything downstream already waits for other reasons)
+    overlap_kernels: tuple[str, ...] = ("PairCompute",)
 
 
 @dataclass
@@ -121,6 +125,30 @@ class ReferenceRun:
             device = get_gpu(device)
         prof = self.profiles[name].scaled(natoms / self.natoms)
         return kk.device_context().cost_model.gpu_time(prof, device, carveout)
+
+    def splittable_step_time(
+        self,
+        device: GPUSpec | str,
+        natoms: int,
+        *,
+        carveout: float | None = None,
+    ) -> float:
+        """Seconds/step of the kernels the overlap scheme can phase-split.
+
+        Matches per-step profiles against the comm model's
+        ``overlap_kernels`` prefixes; the remainder of :meth:`step_time` is
+        work that cannot hide the halo (it either precedes the exchange or
+        depends on downstream communication).
+        """
+        if isinstance(device, str):
+            device = get_gpu(device)
+        model = kk.device_context().cost_model
+        ratio = natoms / self.natoms
+        total = 0.0
+        for name, prof in self.profiles.items():
+            if any(name.startswith(p) for p in self.comm.overlap_kernels):
+                total += model.gpu_time(prof.scaled(ratio), device, carveout)
+        return total
 
 
 def _merge_step_profiles(
@@ -228,6 +256,9 @@ class ReaxFFBenchmark(PotentialBenchmark):
         reverse_halos=1,
         iterative_rounds=30,  # QEq CG iterations (matches captured runs)
         allreduces=3,
+        # bond-order neighboring and the nonbonded force read only pair
+        # geometry, so their owned-owned portion can hide the position halo
+        overlap_kernels=("ReaxBondOrderNeighborList", "ReaxNonbondedForce"),
     )
 
     def __init__(self, nx: int = 3, ny: int = 5, nz: int = 5) -> None:
@@ -245,7 +276,11 @@ class SNAPBenchmark(PotentialBenchmark):
     # U/Y adjoint blocks are processed in bounded atom chunks; resident
     # footprint per atom stays moderate
     mem_per_atom = 4000.0
-    comm = CommModel(forward_halos=1, reverse_halos=1)
+    # the U expansion is per-atom: rows whose neighborhood is ghost-free can
+    # run while the halo is in flight, the rest follows the sync
+    comm = CommModel(
+        forward_halos=1, reverse_halos=1, overlap_kernels=("ComputeUi",)
+    )
     capture_steps = 2
 
     def __init__(self, cells: int = 3, twojmax: int = 8, **options) -> None:
@@ -269,3 +304,56 @@ POTENTIAL_BENCHMARKS: dict[str, Callable[[], PotentialBenchmark]] = {
     "ReaxFF": ReaxFFBenchmark,
     "SNAP": SNAPBenchmark,
 }
+
+
+def overlap_report(
+    ref: ReferenceRun,
+    machine,
+    natoms_total: int,
+    node_counts: list[int],
+) -> list[dict]:
+    """Fig. 6-style overlap=on/off comparison rows.
+
+    Each row gives the modeled step time with the serial exchange-then-force
+    schedule and with the halo hidden behind the interior pass
+    (``max(comm, interior) + boundary``), plus the interior fraction and the
+    communication time actually hidden.
+    """
+    from repro.bench.scaling import cluster_step_breakdown
+
+    rows: list[dict] = []
+    for nodes in node_counts:
+        if nodes > machine.max_nodes:
+            continue
+        off = cluster_step_breakdown(ref, machine, natoms_total, nodes, overlap=False)
+        on = cluster_step_breakdown(ref, machine, natoms_total, nodes, overlap=True)
+        if off is None or on is None:
+            continue
+        rows.append(
+            {
+                "nodes": nodes,
+                "ranks": machine.ranks(nodes),
+                "step_time_off": off["total"],
+                "step_time_on": on["total"],
+                "speedup": off["total"] / on["total"],
+                "interior_fraction": on["interior_fraction"],
+                "hidden_comm": min(on["hidden_comm"], on["interior"]),
+            }
+        )
+    return rows
+
+
+def format_overlap_report(potential: str, machine_name: str, rows: list[dict]) -> str:
+    """Human-readable table for :func:`overlap_report` rows."""
+    lines = [
+        f"{potential} on {machine_name}: halo/compute overlap",
+        f"{'nodes':>6} {'ranks':>7} {'off (ms)':>10} {'on (ms)':>10} "
+        f"{'speedup':>8} {'interior':>9}",
+    ]
+    for r in rows:
+        lines.append(
+            f"{r['nodes']:>6d} {r['ranks']:>7d} {r['step_time_off'] * 1e3:>10.4f} "
+            f"{r['step_time_on'] * 1e3:>10.4f} {r['speedup']:>8.3f} "
+            f"{r['interior_fraction']:>9.3f}"
+        )
+    return "\n".join(lines)

@@ -39,21 +39,46 @@ def ghost_atoms(natoms_rank: float, density: float, cutoff: float) -> float:
     return density * (grown - volume)
 
 
-def cluster_step_time(
+def interior_fraction(natoms_rank: float, density: float, cutoff: float) -> float:
+    """Fraction of pair work whose neighbor is an owned atom.
+
+    The overlap split is per pair: a pair is interior when its j atom is
+    owned.  A neighbor drawn from the halo-extended brick is owned with
+    probability ``nlocal / (nlocal + nghost)``, which also gives the right
+    limits — near 1 for fat bricks, small but non-zero for slivers thinner
+    than the cutoff (owned-owned pairs always exist).
+    """
+    if natoms_rank <= 0:
+        return 0.0
+    nghost = ghost_atoms(natoms_rank, density, cutoff)
+    return natoms_rank / (natoms_rank + nghost)
+
+
+def cluster_step_breakdown(
     ref: ReferenceRun,
     machine: MachineSpec,
     natoms_total: int,
     nodes: int,
-) -> float | None:
-    """Seconds per timestep, or None when the problem does not fit in HBM."""
+    *,
+    overlap: bool = False,
+) -> dict | None:
+    """Per-step time parts, or None when the problem does not fit in HBM.
+
+    Returns ``{"total", "kernel", "comm", "interior", "boundary",
+    "hidden_comm", "interior_fraction"}`` — with overlap on, the total is
+    accounted as ``rest + max(hidden_comm, interior) + boundary + exposed
+    comm`` (the ``max(comm, interior) + boundary`` scheme); off, it is the
+    serial ``kernel + comm``.
+    """
     ranks = machine.ranks(nodes)
     natoms_rank = natoms_total / ranks
     if natoms_rank * ref.mem_per_atom > machine.gpu.hbm_bytes:
         return None
     if natoms_rank < 1.0:
         return None
+    natoms_dev = max(int(round(natoms_rank)), 1)
 
-    t_kernel = ref.step_time(machine.gpu, max(int(round(natoms_rank)), 1))
+    t_kernel = ref.step_time(machine.gpu, natoms_dev)
     if ranks > 1:
         t_kernel *= IMBALANCE
 
@@ -67,6 +92,7 @@ def cluster_step_time(
     )
     face_bytes = nghost / 6.0 * comm.bytes_per_ghost
     t_comm = 0.0
+    t_position_halo = 0.0
     if ranks > 1:
         # single-node runs exchange over NVLink/xGMI; multi-node bricks put
         # roughly 2/3 of their face traffic on the fabric (2 of 6 faces stay
@@ -82,6 +108,9 @@ def cluster_step_time(
         def halo(nbytes_face: float) -> float:
             return eff_net.halo_time(nbytes_face * frac_fabric)
 
+        # the first forward halo each step carries positions; it is the one
+        # the interior pass can hide
+        t_position_halo = halo(face_bytes)
         t_comm += comm.forward_halos * halo(face_bytes)
         t_comm += comm.reverse_halos * halo(face_bytes)
         t_comm += comm.allreduces * eff_net.allreduce_time(16.0, ranks)
@@ -95,7 +124,49 @@ def cluster_step_time(
         t_comm += (comm.forward_halos + comm.reverse_halos) * comm.kernels_per_halo * launch
         t_comm += comm.iterative_rounds * comm.iterative_kernel_launches * launch
         t_comm += PER_STEP_OVERHEAD_US * 1e-6
-    return t_kernel + t_comm
+
+    frac = interior_fraction(natoms_rank, ref.density, ref.cutoff)
+    t_split = ref.splittable_step_time(machine.gpu, natoms_dev)
+    if ranks > 1:
+        t_split *= IMBALANCE
+    t_split = min(t_split, t_kernel)
+    t_interior = frac * t_split
+    t_boundary = t_split - t_interior
+
+    if overlap and ranks > 1:
+        from repro.hardware.cost import overlapped_phase_time
+
+        total = (
+            (t_kernel - t_split)
+            + overlapped_phase_time(t_position_halo, t_interior, t_boundary)
+            + (t_comm - t_position_halo)
+        )
+    else:
+        total = t_kernel + t_comm
+    return {
+        "total": total,
+        "kernel": t_kernel,
+        "comm": t_comm,
+        "interior": t_interior,
+        "boundary": t_boundary,
+        "hidden_comm": t_position_halo if (overlap and ranks > 1) else 0.0,
+        "interior_fraction": frac,
+    }
+
+
+def cluster_step_time(
+    ref: ReferenceRun,
+    machine: MachineSpec,
+    natoms_total: int,
+    nodes: int,
+    *,
+    overlap: bool = False,
+) -> float | None:
+    """Seconds per timestep, or None when the problem does not fit in HBM."""
+    parts = cluster_step_breakdown(
+        ref, machine, natoms_total, nodes, overlap=overlap
+    )
+    return None if parts is None else parts["total"]
 
 
 def strong_scaling_curve(
@@ -103,13 +174,15 @@ def strong_scaling_curve(
     machine: MachineSpec,
     natoms_total: int,
     node_counts: list[int],
+    *,
+    overlap: bool = False,
 ) -> list[tuple[int, float | None]]:
     """``(nodes, steps_per_second)`` series; None where it does not fit."""
     out: list[tuple[int, float | None]] = []
     for nodes in node_counts:
         if nodes > machine.max_nodes:
             continue
-        t = cluster_step_time(ref, machine, natoms_total, nodes)
+        t = cluster_step_time(ref, machine, natoms_total, nodes, overlap=overlap)
         out.append((nodes, None if t is None else 1.0 / t))
     return out
 

@@ -50,6 +50,10 @@ class Verlet:
             yield from lmp.pair.compute_gen(eflag=True, vflag=True)
         else:
             lmp.pair.compute(eflag=True, vflag=True)
+        yield from self._force_epilogue()
+
+    def _force_epilogue(self) -> Iterator[None]:
+        lmp = self.lmp
         if lmp.kspace is not None:
             # reciprocal-space contribution (KSPACE package)
             yield from lmp.kspace.compute_gen(eflag=True, vflag=True)
@@ -60,6 +64,43 @@ class Verlet:
             yield from lmp.comm_brick.reverse_comm(lmp.atom, "f")
         lmp.modify.post_force()
         lmp.mark_host_writes("f")
+
+    # ----------------------------------------------------- overlapped force
+    def overlap_active(self) -> bool:
+        """Overlap requested, and the active pair style can split phases."""
+        lmp = self.lmp
+        return bool(
+            getattr(lmp, "overlap_comm", False)
+            and lmp.pair is not None
+            and getattr(lmp.pair, "supports_overlap", False)
+            and lmp.comm_brick is not None
+        )
+
+    def force_cycle_overlap(self) -> Iterator[None]:
+        """Halo exchange hidden behind the interior force pass.
+
+        The position halo is started asynchronously; the interior pass
+        (pairs whose neighbor is an owned atom) runs against it, the
+        exchange is synchronized, then the boundary pass folds in the
+        ghost-dependent pairs — Trott et al.'s GPU-cluster overlap scheme.
+        Only taken on non-rebuild steps: migration/borders reshape the ghost
+        shell and are inherently blocking.
+        """
+        lmp = self.lmp
+        inflight = lmp.comm_brick.forward_comm_start(lmp.atom)
+        lmp.atom.zero_forces()
+        lmp.mark_host_writes("f")
+        if hasattr(lmp.pair, "compute_overlap_gen"):
+            # Styles with mid-compute communication drive the in-flight
+            # handle themselves (EAM overlaps its interior density loop).
+            yield from lmp.pair.compute_overlap_gen(inflight, eflag=True, vflag=True)
+        else:
+            lmp.pair.compute_phase("interior", eflag=True, vflag=True)
+            yield from inflight.finish()
+            lmp.mark_host_writes("x")
+            lmp.pair.compute_phase("boundary", eflag=True, vflag=True)
+        lmp.overlap_steps += 1
+        yield from self._force_epilogue()
 
     # ---------------------------------------------------------------- run
     def run_gen(self, nsteps: int) -> Iterator[None]:
@@ -82,10 +123,14 @@ class Verlet:
             yield
             if lmp.world.reduce_result(key) > 0.0:
                 yield from lmp.rebuild_gen()
+                lmp.mark_host_writes("x")
+                yield from self.force_cycle()
+            elif self.overlap_active():
+                yield from self.force_cycle_overlap()
             else:
                 yield from lmp.comm_brick.forward_comm(lmp.atom)
-            lmp.mark_host_writes("x")
-            yield from self.force_cycle()
+                lmp.mark_host_writes("x")
+                yield from self.force_cycle()
             lmp.modify.final_integrate()
             lmp.modify.end_of_step()
             yield from lmp.thermo.output_gen()

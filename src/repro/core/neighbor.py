@@ -72,6 +72,42 @@ class NeighborList:
         i = np.repeat(np.arange(self.nlocal), self.numneigh)
         return i, self.neighbors.astype(np.int64)
 
+    # ------------------------------------------------- interior/boundary split
+    def boundary_rows(self) -> np.ndarray:
+        """Boolean mask over owned atoms: True where the row has a ghost.
+
+        The comm/compute overlap driver (Trott et al.'s interior/boundary
+        force split) computes rows whose neighbors are all owned atoms while
+        the halo exchange is in flight; rows touching ghosts wait for fresh
+        ghost positions.  Cached per list build.
+        """
+        cached = getattr(self, "_boundary_rows", None)
+        if cached is not None:
+            return cached
+        mask = np.zeros(self.nlocal, dtype=bool)
+        if self.total_pairs:
+            row = np.repeat(np.arange(self.nlocal), self.numneigh)
+            mask[row[self.neighbors >= np.int32(self.nlocal)]] = True
+        self._boundary_rows = mask
+        return mask
+
+    def ghost_pair_mask(self) -> np.ndarray:
+        """Per-stored-pair mask: True where the neighbor is a ghost atom.
+
+        Pair-streaming kernels split at pair granularity: a pair whose j is
+        owned reads only positions already current on this rank, so it can be
+        evaluated before the halo exchange completes.
+        """
+        return self.neighbors >= np.int32(self.nlocal)
+
+    @property
+    def interior_pairs(self) -> int:
+        return self.total_pairs - self.boundary_pairs
+
+    @property
+    def boundary_pairs(self) -> int:
+        return int(np.count_nonzero(self.ghost_pair_mask()))
+
     def as_padded_view(self, space: ExecutionSpace = Host) -> View:
         """Padded 2-D (nlocal, maxneigh) View in a space's natural layout.
 

@@ -231,6 +231,21 @@ class KernelCostModel:
         return p / (p + max(half, 1.0))
 
 
+def overlapped_phase_time(
+    t_comm: float, t_interior: float, t_boundary: float
+) -> float:
+    """Step-time accounting with comm/compute overlap.
+
+    The halo exchange runs concurrently with the interior force pass, so
+    the pair costs ``max(comm, interior)``; the boundary pass waits for the
+    ghosts and is fully exposed.  This replaces the serial
+    ``comm + interior + boundary`` accounting when overlap is on.
+    """
+    if min(t_comm, t_interior, t_boundary) < 0.0:
+        raise ValueError("phase times must be non-negative")
+    return max(t_comm, t_interior) + t_boundary
+
+
 @dataclass
 class DeviceTimeline:
     """Ledger of simulated device time, by kernel name.

@@ -20,11 +20,17 @@ class TimelineSnapshot:
     entries: dict[str, float]
 
     def delta(self) -> dict[str, float]:
-        """Per-kernel seconds accumulated since this snapshot."""
+        """Per-kernel seconds accumulated since this snapshot.
+
+        A total below the snapshot means the device context (and its
+        timeline) was reset in between: the accumulator restarted from zero,
+        so the whole current total is fresh work, not negative progress.
+        """
         now = device_context().timeline.entries
         out: dict[str, float] = {}
         for name, total in now.items():
-            d = total - self.entries.get(name, 0.0)
+            base = self.entries.get(name, 0.0)
+            d = total - base if total >= base else total
             if d > 0.0:
                 out[name] = d
         return out
@@ -45,6 +51,39 @@ def region(out: dict[str, float], key: str = "seconds"):
         yield
     finally:
         out[key] = out.get(key, 0.0) + snap.delta_total()
+
+
+def overlap_phases(
+    entries: dict[str, float] | None = None,
+) -> dict[str, tuple[float, float]]:
+    """Per-kernel ``(interior, boundary)`` seconds for phase-split kernels.
+
+    Overlapped force passes record under ``<kernel>/interior`` and
+    ``<kernel>/boundary``; this folds the suffixed entries back onto the
+    base kernel name.  Defaults to the active timeline.
+    """
+    if entries is None:
+        entries = device_context().timeline.entries
+    out: dict[str, list[float]] = {}
+    for name, seconds in entries.items():
+        for suffix, slot in (("/interior", 0), ("/boundary", 1)):
+            if name.endswith(suffix):
+                base = name[: -len(suffix)]
+                out.setdefault(base, [0.0, 0.0])[slot] += seconds
+    return {k: (v[0], v[1]) for k, v in out.items()}
+
+
+def overlap_fraction(entries: dict[str, float] | None = None) -> float:
+    """Fraction of phase-split kernel time spent in the interior pass.
+
+    This is the share of force work that ran concurrently with the halo
+    exchange; 0.0 when no kernel recorded phases (overlap off, or no
+    multi-rank steps).
+    """
+    phases = overlap_phases(entries)
+    interior = sum(v[0] for v in phases.values())
+    total = sum(v[0] + v[1] for v in phases.values())
+    return interior / total if total > 0.0 else 0.0
 
 
 def kernel_report(top: int = 20) -> str:

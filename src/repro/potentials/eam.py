@@ -84,22 +84,17 @@ class EAMMixin:
 class PairEAM(EAMMixin, Pair):
     """Host EAM: full neighbor list for the density loop simplicity."""
 
+    supports_overlap = True
+
     def neighbor_request(self) -> tuple[str, bool]:
         # A full list makes both loops one-sided: each atom accumulates its
         # own density and its own force; no reverse communication needed.
         return "full", False
 
-    def compute_gen(self, eflag: bool = True, vflag: bool = True) -> Iterator[None]:
-        lmp = self.lmp
-        atom = lmp.atom
-        nlist = lmp.neigh_list
-        self.reset_tallies()
-        atom.rho[: atom.nall] = 0.0
-        atom.fp[: atom.nall] = 0.0
-        if nlist is None or nlist.total_pairs == 0:
-            return
-
-        i, j = nlist.ij_pairs()
+    # ------------------------------------------------------------- helpers
+    def _pair_geometry(self, i: np.ndarray, j: np.ndarray):
+        """Cutoff-masked geometry ``(i, j, dx, r, itype, jtype)`` for pairs."""
+        atom = self.lmp.atom
         x = atom.x[: atom.nall]
         itype = atom.type[i]
         jtype = atom.type[j]
@@ -107,22 +102,19 @@ class PairEAM(EAMMixin, Pair):
         rsq = np.einsum("ij,ij->i", dx, dx)
         cutsq = self.cut[itype, jtype] ** 2
         mask = rsq < cutsq
-        i, j, dx, rsq = i[mask], j[mask], dx[mask], rsq[mask]
-        itype, jtype = itype[mask], jtype[mask]
-        r = np.sqrt(rsq)
+        i, j, dx = i[mask], j[mask], dx[mask]
+        return i, j, dx, np.sqrt(rsq[mask]), itype[mask], jtype[mask]
 
-        # Loop 1: electron density of owned atoms.
-        np.add.at(atom.rho, i, self.dens(r))
+    def _embed_locals(self) -> None:
+        """Embedding energy and its derivative fp for owned atoms."""
+        atom = self.lmp.atom
         rho_local = atom.rho[: atom.nlocal]
         types_local = atom.type[: atom.nlocal]
         self.eng_vdwl += float(self.embed(rho_local, types_local).sum())
         atom.fp[: atom.nlocal] = self.dembed(rho_local, types_local)
 
-        # Figure 1's "additional communication": ghosts need fp before the
-        # force loop can evaluate (fp_i + fp_j).
-        yield from lmp.comm_brick.forward_comm_field(atom, "fp")
-
-        # Loop 2: forces and pair energy.
+    def _force_pass(self, i, j, dx, r, itype, jtype, eflag, vflag) -> None:
+        atom = self.lmp.atom
         fp_sum = atom.fp[i] + atom.fp[j]
         dphi = self.dphi(r, itype, jtype)
         ddens = self.ddens(r)
@@ -136,3 +128,74 @@ class PairEAM(EAMMixin, Pair):
             self.tally_pairs(
                 evdwl, dx, fpair, j < atom.nlocal, full_list=True, newton=False
             )
+
+    # ------------------------------------------------------------- compute
+    def compute_gen(self, eflag: bool = True, vflag: bool = True) -> Iterator[None]:
+        lmp = self.lmp
+        atom = lmp.atom
+        nlist = lmp.neigh_list
+        self.reset_tallies()
+        atom.rho[: atom.nall] = 0.0
+        atom.fp[: atom.nall] = 0.0
+        if nlist is None or nlist.total_pairs == 0:
+            return
+
+        i, j, dx, r, itype, jtype = self._pair_geometry(*nlist.ij_pairs())
+
+        # Loop 1: electron density of owned atoms.
+        np.add.at(atom.rho, i, self.dens(r))
+        self._embed_locals()
+
+        # Figure 1's "additional communication": ghosts need fp before the
+        # force loop can evaluate (fp_i + fp_j).
+        yield from lmp.comm_brick.forward_comm_field(atom, "fp")
+
+        # Loop 2: forces and pair energy.
+        self._force_pass(i, j, dx, r, itype, jtype, eflag, vflag)
+
+    def compute_overlap_gen(
+        self, inflight, eflag: bool = True, vflag: bool = True
+    ) -> Iterator[None]:
+        """Overlapped compute: interior density runs while the halo is in
+        flight; boundary density and everything downstream wait for it.
+
+        The force loop itself cannot start before the fp forward comm, so
+        only the density loop's interior portion hides the position halo —
+        exactly the split available to real EAM.
+        """
+        lmp = self.lmp
+        atom = lmp.atom
+        nlist = lmp.neigh_list
+        self.reset_tallies()
+        atom.rho[: atom.nall] = 0.0
+        atom.fp[: atom.nall] = 0.0
+        if nlist is None or nlist.total_pairs == 0:
+            yield from inflight.finish()
+            return
+
+        i_all, j_all = nlist.ij_pairs()
+        ghost = nlist.ghost_pair_mask()
+
+        # Interior density: both atoms owned, positions already final.
+        ii, ji, dxi, ri, iti, jti = self._pair_geometry(i_all[~ghost], j_all[~ghost])
+        np.add.at(atom.rho, ii, self.dens(ri))
+
+        # Synchronize the position halo, then fold in ghost-pair density.
+        yield from inflight.finish()
+        lmp.mark_host_writes("x")
+        ib, jb, dxb, rb, itb, jtb = self._pair_geometry(i_all[ghost], j_all[ghost])
+        np.add.at(atom.rho, ib, self.dens(rb))
+        self._embed_locals()
+
+        yield from lmp.comm_brick.forward_comm_field(atom, "fp")
+
+        self._force_pass(
+            np.concatenate([ii, ib]),
+            np.concatenate([ji, jb]),
+            np.concatenate([dxi, dxb]),
+            np.concatenate([ri, rb]),
+            np.concatenate([iti, itb]),
+            np.concatenate([jti, jtb]),
+            eflag,
+            vflag,
+        )

@@ -7,6 +7,10 @@ communication classes exchange it (figure 1's dashed "uses" arrows), and a
 second sync moves it back.  This is the host-side communication choice
 section 3.3 describes; it is also the configuration that makes DualView's
 staleness tracking earn its keep.
+
+With ``comm_modify overlap yes`` the density kernel is split: the interior
+portion (pairs between owned atoms) runs while the position halo is in
+flight, and only the ghost-touching remainder waits for it.
 """
 
 from __future__ import annotations
@@ -32,16 +36,98 @@ class PairEAMKokkos(PairEAM):
         self.execution_space = Device if execution_space == "device" else Host
         super().__init__(lmp, args)
 
-    def compute_gen(self, eflag: bool = True, vflag: bool = True) -> Iterator[None]:
-        lmp = self.lmp
-        atom = lmp.atom
-        atom_kk = lmp.atom_kk
-        nlist = lmp.neigh_list
-        space = self.execution_space
-        self.reset_tallies()
-        if nlist is None or nlist.total_pairs == 0:
-            return
+    # ------------------------------------------------------------- helpers
+    def _device_geometry(self, i: np.ndarray, j: np.ndarray, x, types):
+        """Cutoff-masked pair geometry against the execution-space views."""
+        itype = types[i]
+        jtype = types[j]
+        dx = x[i] - x[j]
+        rsq = np.einsum("ij,ij->i", dx, dx)
+        mask = rsq < self.cut[itype, jtype] ** 2
+        stored = len(i)
+        i, j, dx = i[mask], j[mask], dx[mask]
+        return i, j, dx, np.sqrt(rsq[mask]), itype[mask], jtype[mask], stored
 
+    def _density_kernel(
+        self, i: np.ndarray, r: np.ndarray, stored: int, rho_view, suffix: str = ""
+    ) -> None:
+        atom = self.lmp.atom
+        nlist = self.lmp.neigh_list
+        sv = ScatterView(rho_view)
+        sv.access().add(i, self.dens(r))
+        sv.contribute()
+        kk.parallel_for(
+            "PairEAMKernelDensity" + suffix,
+            kk.RangePolicy(self.execution_space, 0, atom.nlocal),
+            lambda idx: None,
+            profile=kk.KernelProfile(
+                name="PairEAMKernelDensity" + suffix,
+                flops=8.0 * stored,
+                bytes_streamed=4.0 * stored + 32.0 * atom.nlocal,
+                bytes_reusable=24.0 * stored,
+                l1_working_set_kb=12.0 * max(nlist.mean_neighbors, 1.0),
+                l2_working_set_mb=24.0 * atom.nlocal / 1e6,
+                atomic_ops=float(sv.atomic_adds),
+                parallel_items=float(atom.nlocal),
+            ),
+        )
+
+    def _embed_kernel(self, rho_view, fp_view, types) -> None:
+        atom = self.lmp.atom
+
+        def embed_kernel(idx: np.ndarray) -> None:
+            rho_l = rho_view.data[idx]
+            t_l = types[idx]
+            self.eng_vdwl += float(self.embed(rho_l, t_l).sum())
+            fp_view.data[idx] = self.dembed(rho_l, t_l)
+
+        kk.parallel_for(
+            "PairEAMKernelEmbed",
+            kk.RangePolicy(self.execution_space, 0, atom.nlocal),
+            embed_kernel,
+            profile=kk.KernelProfile(
+                name="PairEAMKernelEmbed",
+                flops=10.0 * atom.nlocal,
+                bytes_streamed=24.0 * atom.nlocal,
+                parallel_items=float(atom.nlocal),
+            ),
+        )
+
+    def _force_kernel(
+        self, i, j, dx, r, itype, jtype, stored, fp_view, f_view, eflag, vflag
+    ) -> None:
+        atom = self.lmp.atom
+        nlist = self.lmp.neigh_list
+        fp = fp_view.data
+        fp_sum = fp[i] + fp[j]
+        fpair = -(self.dphi(r, itype, jtype) + fp_sum * self.ddens(r)) / r
+        fvec = fpair[:, None] * dx
+        np.add.at(f_view.data, i, fvec)
+        self.lmp.atom_kk.modified(self.execution_space, ("f",))
+        kk.parallel_for(
+            "PairEAMKernelForce",
+            kk.RangePolicy(self.execution_space, 0, atom.nlocal),
+            lambda idx: None,
+            profile=kk.KernelProfile(
+                name="PairEAMKernelForce",
+                flops=20.0 * stored,
+                bytes_streamed=4.0 * stored + 48.0 * atom.nlocal,
+                bytes_reusable=32.0 * stored,
+                l1_working_set_kb=14.0 * max(nlist.mean_neighbors, 1.0),
+                l2_working_set_mb=32.0 * atom.nlocal / 1e6,
+                parallel_items=float(atom.nlocal),
+            ),
+        )
+        if eflag or vflag:
+            evdwl = self.phi(r, itype, jtype)
+            self.tally_pairs(
+                evdwl, dx, fpair, j < atom.nlocal, full_list=True, newton=False
+            )
+
+    def _sync_views(self):
+        atom = self.lmp.atom
+        atom_kk = self.lmp.atom_kk
+        space = self.execution_space
         atom_kk.sync(space, ("x", "type", "f", "rho", "fp"))
         x = atom_kk.view("x", space).data
         types = atom_kk.view("type", space).data
@@ -53,88 +139,87 @@ class PairEAMKokkos(PairEAM):
         rho_view.data[: atom.nall] = 0.0
         fp_view.data[: atom.nall] = 0.0
         atom_kk.modified(space, ("rho", "fp"))
+        return x, types, rho_view, fp_view, f_view
 
-        i, j = nlist.ij_pairs()
-        itype = types[i]
-        jtype = types[j]
-        dx = x[i] - x[j]
-        rsq = np.einsum("ij,ij->i", dx, dx)
-        mask = rsq < self.cut[itype, jtype] ** 2
-        stored_pairs = len(i)
-        i, j, dx, rsq = i[mask], j[mask], dx[mask], rsq[mask]
-        itype, jtype = itype[mask], jtype[mask]
-        r = np.sqrt(rsq)
-
-        # Kernel 1: density accumulation (ScatterView handles the write
-        # conflicts when parallelizing over pairs).
-        sv = ScatterView(rho_view)
-        sv.access().add(i, self.dens(r))
-        sv.contribute()
-        kk.parallel_for(
-            "PairEAMKernelDensity",
-            kk.RangePolicy(space, 0, atom.nlocal),
-            lambda idx: None,
-            profile=kk.KernelProfile(
-                name="PairEAMKernelDensity",
-                flops=8.0 * stored_pairs,
-                bytes_streamed=4.0 * stored_pairs + 32.0 * atom.nlocal,
-                bytes_reusable=24.0 * stored_pairs,
-                l1_working_set_kb=12.0 * max(nlist.mean_neighbors, 1.0),
-                l2_working_set_mb=24.0 * atom.nlocal / 1e6,
-                atomic_ops=float(sv.atomic_adds),
-                parallel_items=float(atom.nlocal),
-            ),
-        )
-
-        # Kernel 2: embedding energy + derivative, per owned atom.
-        def embed_kernel(idx: np.ndarray) -> None:
-            rho_l = rho_view.data[idx]
-            t_l = types[idx]
-            self.eng_vdwl += float(self.embed(rho_l, t_l).sum())
-            fp_view.data[idx] = self.dembed(rho_l, t_l)
-
-        kk.parallel_for(
-            "PairEAMKernelEmbed",
-            kk.RangePolicy(space, 0, atom.nlocal),
-            embed_kernel,
-            profile=kk.KernelProfile(
-                name="PairEAMKernelEmbed",
-                flops=10.0 * atom.nlocal,
-                bytes_streamed=24.0 * atom.nlocal,
-                parallel_items=float(atom.nlocal),
-            ),
-        )
-        atom_kk.modified(space, ("rho", "fp"))
-
-        # Host-staged forward communication of fp (figure 1).
+    def _fp_comm_gen(self) -> Iterator[None]:
+        """Host-staged forward communication of fp (figure 1)."""
+        lmp = self.lmp
+        atom_kk = lmp.atom_kk
         atom_kk.sync(Host, ("fp",))
-        yield from lmp.comm_brick.forward_comm_field(atom, "fp")
+        yield from lmp.comm_brick.forward_comm_field(lmp.atom, "fp")
         atom_kk.modified(Host, ("fp",))
-        atom_kk.sync(space, ("fp",))
+        atom_kk.sync(self.execution_space, ("fp",))
 
-        # Kernel 3: force + pair energy.
-        fp = fp_view.data
-        fp_sum = fp[i] + fp[j]
-        fpair = -(self.dphi(r, itype, jtype) + fp_sum * self.ddens(r)) / r
-        fvec = fpair[:, None] * dx
-        np.add.at(f_view.data, i, fvec)
-        atom_kk.modified(space, ("f",))
-        kk.parallel_for(
-            "PairEAMKernelForce",
-            kk.RangePolicy(space, 0, atom.nlocal),
-            lambda idx: None,
-            profile=kk.KernelProfile(
-                name="PairEAMKernelForce",
-                flops=20.0 * stored_pairs,
-                bytes_streamed=4.0 * stored_pairs + 48.0 * atom.nlocal,
-                bytes_reusable=32.0 * stored_pairs,
-                l1_working_set_kb=14.0 * max(nlist.mean_neighbors, 1.0),
-                l2_working_set_mb=32.0 * atom.nlocal / 1e6,
-                parallel_items=float(atom.nlocal),
-            ),
+    # ------------------------------------------------------------- compute
+    def compute_gen(self, eflag: bool = True, vflag: bool = True) -> Iterator[None]:
+        lmp = self.lmp
+        atom = lmp.atom
+        nlist = lmp.neigh_list
+        self.reset_tallies()
+        if nlist is None or nlist.total_pairs == 0:
+            return
+
+        x, types, rho_view, fp_view, f_view = self._sync_views()
+        i, j, dx, r, itype, jtype, stored = self._device_geometry(
+            *nlist.ij_pairs(), x, types
         )
-        if eflag or vflag:
-            evdwl = self.phi(r, itype, jtype)
-            self.tally_pairs(
-                evdwl, dx, fpair, j < atom.nlocal, full_list=True, newton=False
-            )
+
+        self._density_kernel(i, r, stored, rho_view)
+        self._embed_kernel(rho_view, fp_view, types)
+        lmp.atom_kk.modified(self.execution_space, ("rho", "fp"))
+        yield from self._fp_comm_gen()
+        self._force_kernel(
+            i, j, dx, r, itype, jtype, stored, fp_view, f_view, eflag, vflag
+        )
+
+    def compute_overlap_gen(
+        self, inflight, eflag: bool = True, vflag: bool = True
+    ) -> Iterator[None]:
+        """Density split into interior (halo-hidden) and boundary kernels."""
+        lmp = self.lmp
+        atom = lmp.atom
+        atom_kk = lmp.atom_kk
+        nlist = lmp.neigh_list
+        space = self.execution_space
+        self.reset_tallies()
+        if nlist is None or nlist.total_pairs == 0:
+            yield from inflight.finish()
+            return
+
+        x, types, rho_view, fp_view, f_view = self._sync_views()
+        i_all, j_all = nlist.ij_pairs()
+        ghost = nlist.ghost_pair_mask()
+
+        # Interior density runs against positions already final on this rank.
+        ii, ji, dxi, ri, iti, jti, stored_i = self._device_geometry(
+            i_all[~ghost], j_all[~ghost], x, types
+        )
+        self._density_kernel(ii, ri, stored_i, rho_view, suffix="/interior")
+
+        # Synchronize the halo, refresh the device positions, then fold in
+        # the ghost-touching remainder.
+        yield from inflight.finish()
+        lmp.mark_host_writes("x")
+        atom_kk.sync(space, ("x",))
+        x = atom_kk.view("x", space).data
+        ib, jb, dxb, rb, itb, jtb, stored_b = self._device_geometry(
+            i_all[ghost], j_all[ghost], x, types
+        )
+        self._density_kernel(ib, rb, stored_b, rho_view, suffix="/boundary")
+
+        self._embed_kernel(rho_view, fp_view, types)
+        atom_kk.modified(space, ("rho", "fp"))
+        yield from self._fp_comm_gen()
+        self._force_kernel(
+            np.concatenate([ii, ib]),
+            np.concatenate([ji, jb]),
+            np.concatenate([dxi, dxb]),
+            np.concatenate([ri, rb]),
+            np.concatenate([iti, itb]),
+            np.concatenate([jti, jtb]),
+            stored_i + stored_b,
+            fp_view,
+            f_view,
+            eflag,
+            vflag,
+        )

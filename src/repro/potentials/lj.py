@@ -102,14 +102,31 @@ class LJMixin:
 class PairLJCut(LJMixin, Pair):
     """Host LJ with a half neighbor list (the classic CPU path)."""
 
+    supports_overlap = True
+
     def compute(self, eflag: bool = True, vflag: bool = True) -> None:
-        lmp = self.lmp
-        atom = lmp.atom
-        nlist = lmp.neigh_list
         self.reset_tallies()
+        nlist = self.lmp.neigh_list
         if nlist is None or nlist.total_pairs == 0:
             return
-        i, j = nlist.ij_pairs()
+        self._compute_pairs(*nlist.ij_pairs(), eflag, vflag)
+
+    def compute_phase(
+        self, phase: str, eflag: bool = True, vflag: bool = True
+    ) -> None:
+        if phase in ("all", "interior"):
+            self.reset_tallies()
+        nlist = self.lmp.neigh_list
+        if nlist is None or nlist.total_pairs == 0:
+            return
+        i, j = self.phase_pairs(nlist, phase)
+        if i.size:
+            self._compute_pairs(i, j, eflag, vflag)
+
+    def _compute_pairs(
+        self, i: np.ndarray, j: np.ndarray, eflag: bool, vflag: bool
+    ) -> None:
+        atom = self.lmp.atom
         x = atom.x[: atom.nall]
         itype = atom.type[i]
         jtype = atom.type[j]
@@ -121,7 +138,7 @@ class PairLJCut(LJMixin, Pair):
         itype, jtype = itype[mask], jtype[mask]
         fpair, evdwl = self.pair_eval(rsq, itype, jtype)
 
-        newton = lmp.newton_pair
+        newton = self.lmp.newton_pair
         fvec = fpair[:, None] * dx
         np.add.at(atom.f, i, fvec)
         jlocal = j < atom.nlocal

@@ -111,6 +111,10 @@ class PairLJCutCoulCutKokkos(LJCoulMixin, PairKokkos):
     is inherited.
     """
 
+    # pair_eval reconstructs the charge pairing from whole-list order, which
+    # a phase-restricted pair batch would break.
+    supports_overlap = False
+
     def kernel_name(self) -> str:
         return "PairComputeLJCutCoulCut"
 

@@ -24,6 +24,12 @@ class Pair:
 
     #: True on Kokkos-accelerated styles (drives DualView datamask syncs).
     kokkos_style = False
+    #: True when the style can split its force work into an interior pass
+    #: (pairs whose neighbor is an owned atom — independent of the halo
+    #: exchange) and a boundary pass (pairs touching ghosts).  Styles that
+    #: leave this False fall back to the serial exchange-then-compute path
+    #: even when comm/compute overlap is requested.
+    supports_overlap = False
 
     def __init__(self, lmp, args: list[str]) -> None:
         self.lmp = lmp
@@ -129,6 +135,35 @@ class Pair:
         self.virial[3] += float(np.dot(factor, dx[:, 0] * w[:, 1]))
         self.virial[4] += float(np.dot(factor, dx[:, 0] * w[:, 2]))
         self.virial[5] += float(np.dot(factor, dx[:, 1] * w[:, 2]))
+
+    # ------------------------------------------------- interior/boundary
+    @staticmethod
+    def phase_pairs(nlist, phase: str) -> tuple[np.ndarray, np.ndarray]:
+        """Flat ``(i, j)`` pair arrays restricted to an overlap phase.
+
+        ``"all"`` is the whole list; ``"interior"`` keeps pairs whose j atom
+        is owned (safe to evaluate while the halo exchange is in flight);
+        ``"boundary"`` keeps pairs whose j atom is a ghost.
+        """
+        i, j = nlist.ij_pairs()
+        if phase == "all":
+            return i, j
+        ghost = nlist.ghost_pair_mask()
+        if phase == "interior":
+            sel = ~ghost
+        elif phase == "boundary":
+            sel = ghost
+        else:
+            raise StyleError(f"unknown compute phase {phase!r}")
+        return i[sel], j[sel]
+
+    def compute_phase(
+        self, phase: str, eflag: bool = True, vflag: bool = True
+    ) -> None:
+        """Run one overlap phase.  Styles with ``supports_overlap`` override."""
+        raise StyleError(
+            f"{type(self).__name__} does not support phased (overlapped) compute"
+        )
 
     # --------------------------------------------------------------- hooks
     def compute(self, eflag: bool = True, vflag: bool = True) -> None:

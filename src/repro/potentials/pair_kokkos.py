@@ -99,17 +99,43 @@ class PairKokkos(Pair):
         return self.neigh_mode, self.newton_mode
 
     # ------------------------------------------------------------- kernels
+    supports_overlap = True
+
     def kernel_name(self) -> str:
         return f"PairCompute{type(self).__name__.removeprefix('Pair')}"
 
     def compute(self, eflag: bool = True, vflag: bool = True) -> None:
+        self.reset_tallies()
+        if self.lmp.neigh_list is None or self.lmp.neigh_list.total_pairs == 0:
+            return
+        i, j = self.lmp.neigh_list.ij_pairs()
+        self._compute_pairs(i, j, eflag, vflag, name_suffix="")
+
+    def compute_phase(
+        self, phase: str, eflag: bool = True, vflag: bool = True
+    ) -> None:
+        if phase in ("all", "interior"):
+            self.reset_tallies()
+        nlist = self.lmp.neigh_list
+        if nlist is None or nlist.total_pairs == 0:
+            return
+        i, j = self.phase_pairs(nlist, phase)
+        suffix = "" if phase == "all" else f"/{phase}"
+        self._compute_pairs(i, j, eflag, vflag, name_suffix=suffix)
+
+    def _compute_pairs(
+        self,
+        i: np.ndarray,
+        j: np.ndarray,
+        eflag: bool,
+        vflag: bool,
+        *,
+        name_suffix: str,
+    ) -> None:
         lmp = self.lmp
         atom = lmp.atom
         atom_kk = lmp.atom_kk
         nlist = lmp.neigh_list
-        self.reset_tallies()
-        if nlist is None or nlist.total_pairs == 0:
-            return
         space = self.execution_space
 
         # Datamask protocol (section 3.2): sync reads, then compute on the
@@ -119,7 +145,6 @@ class PairKokkos(Pair):
         f_view = atom_kk.view("f", space)
         type_arr = atom_kk.view("type", space).data
 
-        i, j = nlist.ij_pairs()
         x = x_view.data
         itype = type_arr[i]
         jtype = type_arr[j]
@@ -164,7 +189,9 @@ class PairKokkos(Pair):
             atomic_adds=atomic_adds,
         )
         policy = self._policy(atom.nlocal, nlist.mean_neighbors)
-        kk.parallel_for(self.kernel_name(), policy, lambda idx: None, profile=profile)
+        kk.parallel_for(
+            self.kernel_name() + name_suffix, policy, lambda idx: None, profile=profile
+        )
 
     def _policy(self, natoms: int, mean_neighbors: float):
         if self.team_mode:

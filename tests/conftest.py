@@ -46,6 +46,21 @@ def melt():
     return make_melt()
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite tests/golden/*.json thermo baselines from the current code",
+    )
+
+
+@pytest.fixture
+def update_golden(request) -> bool:
+    """True when the run should rewrite golden baselines instead of compare."""
+    return request.config.getoption("--update-golden")
+
+
 def fd_force_check(lmp, atoms, eps=1e-6, energy=None):
     """Max |analytic - finite-difference| force error over selected atoms.
 

@@ -151,3 +151,62 @@ class TestDeviceContextControls:
         kk.initialize("H100")
         ctx = kk.device_context()
         assert ctx.transfer_time(10**9) > ctx.transfer_time(10**6) > 0
+
+
+class TestSnapshotDeltaAcrossReset:
+    def test_delta_survives_device_context_reset(self):
+        """A timeline reset must yield the fresh total, not drop the kernel.
+
+        ``kk.initialize`` replaces the device context, so accumulated
+        totals restart from zero.  The old delta() returned nothing for a
+        kernel whose new total was below the snapshot baseline; the fixed
+        version reports the whole fresh total as new work.
+        """
+        kk.initialize("H100")
+        kk.device_context().timeline.record("K", 2.0)
+        snap = snapshot()
+        kk.initialize("H100")  # context reset: accumulator restarts
+        kk.device_context().timeline.record("K", 0.5)
+        assert snap.delta()["K"] == pytest.approx(0.5)
+        assert snap.delta_total() == pytest.approx(0.5)
+
+    def test_delta_still_diffs_within_one_context(self):
+        kk.initialize("H100")
+        kk.device_context().timeline.record("K", 2.0)
+        snap = snapshot()
+        kk.device_context().timeline.record("K", 0.5)
+        assert snap.delta()["K"] == pytest.approx(0.5)
+
+
+class TestOverlapPhaseAccounting:
+    def test_phase_folding_and_fraction(self):
+        from repro.kokkos.profiling import overlap_fraction, overlap_phases
+
+        entries = {
+            "PairComputeLJCutKokkos/interior": 3.0,
+            "PairComputeLJCutKokkos/boundary": 1.0,
+            "PairEAMKernelDensity/interior": 1.5,
+            "PairEAMKernelDensity/boundary": 0.5,
+            "FixNVEInitialIntegrate": 4.0,  # unsplit: ignored
+        }
+        phases = overlap_phases(entries)
+        assert phases["PairComputeLJCutKokkos"] == (3.0, 1.0)
+        assert phases["PairEAMKernelDensity"] == (1.5, 0.5)
+        assert "FixNVEInitialIntegrate" not in phases
+        assert overlap_fraction(entries) == pytest.approx(4.5 / 6.0)
+        assert overlap_fraction({}) == 0.0
+        assert overlap_fraction({"X": 1.0}) == 0.0
+
+    def test_overlapped_run_records_phases(self):
+        from repro.core import Ensemble
+        from repro.kokkos.profiling import overlap_fraction, overlap_phases
+        from repro.workloads.melt import setup_melt
+
+        ens = Ensemble(2, device="H100", suffix="kk", overlap_comm=True)
+        setup_melt(ens, cells=3)
+        ens.run(5)
+        phases = overlap_phases()
+        assert any(name.startswith("PairCompute") for name in phases)
+        for interior, boundary in phases.values():
+            assert interior > 0.0 and boundary > 0.0
+        assert 0.0 < overlap_fraction() < 1.0

@@ -166,3 +166,64 @@ class TestWorkloads:
     def test_invalid_cells(self):
         with pytest.raises(ValueError):
             hns_configuration(0, 1, 1)
+
+
+class TestOverlapModel:
+    def test_overlapped_phase_time(self):
+        from repro.hardware.cost import overlapped_phase_time
+
+        # comm-bound: boundary pass is the only exposed compute
+        assert overlapped_phase_time(3.0, 2.0, 1.0) == 4.0
+        # compute-bound: comm fully hidden behind the interior pass
+        assert overlapped_phase_time(1.0, 2.0, 0.5) == 2.5
+        assert overlapped_phase_time(0.0, 0.0, 0.0) == 0.0
+        with pytest.raises(ValueError):
+            overlapped_phase_time(-1.0, 1.0, 1.0)
+
+    def test_interior_fraction_bounds(self):
+        from repro.bench import interior_fraction
+
+        # fat brick: nearly all pairs are owned-owned
+        assert interior_fraction(1e7, 0.8442, 2.5) > 0.9
+        # sliver thinner than the cutoff: small but strictly positive
+        tiny = interior_fraction(8.0, 0.8442, 2.5)
+        assert 0.0 < tiny < 0.3
+        assert interior_fraction(0.0, 0.8442, 2.5) == 0.0
+        # monotone in the brick size
+        fracs = [interior_fraction(n, 0.8442, 2.5) for n in (1e2, 1e4, 1e6)]
+        assert fracs == sorted(fracs)
+
+    def test_splittable_step_time_selects_overlap_kernels(self, lj_ref):
+        split = lj_ref.splittable_step_time("H100", lj_ref.natoms)
+        total = lj_ref.step_time("H100", lj_ref.natoms)
+        assert 0.0 < split < total
+
+    def test_cluster_overlap_strictly_faster_multirank(self, lj_ref):
+        from repro.bench import cluster_step_breakdown
+
+        machine = get_machine("frontier")
+        natoms = 16_000_000
+        for nodes in (2, 4, 16, 64):
+            off = cluster_step_breakdown(lj_ref, machine, natoms, nodes)
+            on = cluster_step_breakdown(
+                lj_ref, machine, natoms, nodes, overlap=True
+            )
+            assert on["total"] < off["total"], nodes
+            # the win is exactly the hidden halo time
+            gain = off["total"] - on["total"]
+            assert gain == pytest.approx(on["hidden_comm"], abs=1e-15)
+            assert 0.0 < on["interior_fraction"] < 1.0
+            # interior + boundary tile the splittable kernel time
+            assert on["interior"] + on["boundary"] <= on["kernel"] + 1e-15
+
+    def test_single_node_overlap_single_rank_noop(self, lj_ref):
+        from repro.bench import cluster_step_breakdown
+
+        machine = get_machine("frontier")
+        # pick a size that fits a single rank
+        natoms = 1_000_000
+        ranks_node1 = machine.ranks(1)
+        assert ranks_node1 > 1  # frontier packs 8 GCDs per node
+        off = cluster_step_breakdown(lj_ref, machine, natoms, 1)
+        on = cluster_step_breakdown(lj_ref, machine, natoms, 1, overlap=True)
+        assert on["total"] < off["total"]  # intra-node halo still hidden

@@ -1,0 +1,207 @@
+"""Overlapped halo exchange: physics equivalence across rank counts.
+
+The tentpole claim: with ``comm_modify overlap yes`` (or
+``Ensemble(overlap_comm=True)``) the force cycle splits the pair work
+into an interior pass that runs while the position halo is in flight and
+a boundary pass after it lands.  The split changes only the floating
+point summation *order*, so decomposed runs — overlap on or off — must
+reproduce the serial trajectory to near machine precision.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import gather_by_tag, make_melt
+from repro.core import Ensemble, Lammps
+from repro.parallel.driver import lockstep
+from repro.workloads.hns import setup_hns
+from repro.workloads.melt import setup_melt
+from repro.workloads.tantalum import setup_tantalum
+
+#: steps kept short for the expensive many-body styles; thermo every few
+#: steps so the differential check also covers the reduced quantities
+WORKLOADS = {
+    "melt-lj": dict(steps=20, thermo=5),
+    "melt-eam": dict(steps=20, thermo=5),
+    "tantalum": dict(steps=6, thermo=2),
+    "hns": dict(steps=4, thermo=2),
+}
+
+#: per-workload tolerances.  The pairwise and SNAP paths differ from the
+#: serial run only by summation order (~1e-13); ReaxFF's QEq solver
+#: converges to a fixed tolerance, so its charges (hence forces) carry a
+#: legitimate decomposition-dependent residual (cf. test_reaxff_pair's
+#: 1e-7 on positions/charges).
+TIGHT = dict(x_atol=1e-9, f_rtol=1e-7, f_atol=1e-9, th_rel=1e-7, th_abs=1e-9)
+LOOSE = dict(x_atol=1e-7, f_rtol=1e-5, f_atol=1e-5, th_rel=1e-6, th_abs=1e-6)
+TOLERANCES = {
+    "melt-lj": TIGHT,
+    "melt-eam": TIGHT,
+    "tantalum": TIGHT,
+    "hns": LOOSE,
+}
+
+
+def build(name: str, nranks: int = 1, overlap: bool = False):
+    if nranks > 1:
+        target = Ensemble(nranks, device=None, overlap_comm=overlap)
+    else:
+        target = Lammps(device=None)
+        target.overlap_comm = overlap
+    if name == "melt-lj":
+        setup_melt(target, cells=3)
+    elif name == "melt-eam":
+        setup_melt(target, cells=3, pair_style="eam/fs")
+    elif name == "tantalum":
+        setup_tantalum(target, cells=2, twojmax=4)
+    elif name == "hns":
+        setup_hns(target, 1, 2, 2, pair_style="reaxff cutoff 5.0")
+    else:  # pragma: no cover
+        raise KeyError(name)
+    target.command(f"thermo {WORKLOADS[name]['thermo']}")
+    return target, WORKLOADS[name]["steps"]
+
+
+def final_state(target):
+    x = gather_by_tag(target, "x")
+    f = gather_by_tag(target, "f")
+    root = target.ranks[0] if hasattr(target, "ranks") else target
+    history = [(rec.step, dict(rec.values)) for rec in root.thermo.history]
+    return x, f, history
+
+
+@pytest.fixture(scope="module")
+def serial_state():
+    cache: dict[str, tuple] = {}
+
+    def get(name: str):
+        if name not in cache:
+            target, steps = build(name)
+            target.command(f"run {steps}")
+            cache[name] = final_state(target)
+        return cache[name]
+
+    return get
+
+
+@pytest.mark.parametrize("overlap", [False, True], ids=["overlap-off", "overlap-on"])
+@pytest.mark.parametrize("nranks", [2, 4, 8])
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_decomposed_matches_serial(serial_state, name, nranks, overlap):
+    """1-rank vs N-rank trajectories agree in positions, forces, thermo."""
+    x_ref, f_ref, hist_ref = serial_state(name)
+    target, steps = build(name, nranks=nranks, overlap=overlap)
+    target.command(f"run {steps}")
+    x, f, hist = final_state(target)
+
+    tol = TOLERANCES[name]
+    np.testing.assert_allclose(x, x_ref, rtol=0.0, atol=tol["x_atol"])
+    np.testing.assert_allclose(f, f_ref, rtol=tol["f_rtol"], atol=tol["f_atol"])
+    assert [step for step, _ in hist] == [step for step, _ in hist_ref]
+    for (step, values), (_, ref_values) in zip(hist, hist_ref):
+        for key, ref in ref_values.items():
+            assert values[key] == pytest.approx(
+                ref, rel=tol["th_rel"], abs=tol["th_abs"]
+            ), (name, nranks, overlap, step, key)
+
+
+def test_overlap_path_actually_taken():
+    """LJ and EAM really run the split cycle (not a silent fallback)."""
+    for style in ("lj/cut", "eam/fs"):
+        ens = Ensemble(2, device=None, overlap_comm=True)
+        setup_melt(ens, cells=3, pair_style=style)
+        ens.run(10)
+        for lmp in ens.ranks:
+            assert lmp.last_run_stats["overlap_steps"] > 0, style
+
+
+def test_unsupported_styles_fall_back_to_serial_exchange():
+    """SNAP advertises no overlap support; the driver must not split it."""
+    target, _ = build("tantalum", nranks=2, overlap=True)
+    target.command("run 2")
+    for lmp in target.ranks:
+        assert lmp.pair.supports_overlap is False
+        assert lmp.last_run_stats["overlap_steps"] == 0
+
+
+def test_single_rank_overlap_matches_off():
+    """One rank still halos with its own periodic images; the split must
+    reproduce the plain run exactly there too."""
+    plain = make_melt()
+    plain.command("run 10")
+    split = make_melt()
+    split.command("comm_modify overlap yes")
+    split.command("run 10")
+    assert split.last_run_stats["overlap_steps"] > 0
+    np.testing.assert_allclose(
+        gather_by_tag(split, "x"), gather_by_tag(plain, "x"), atol=1e-12
+    )
+    np.testing.assert_allclose(
+        gather_by_tag(split, "f"), gather_by_tag(plain, "f"), atol=1e-11
+    )
+
+
+def test_comm_modify_overlap_toggle():
+    lmp = make_melt()
+    assert lmp.overlap_comm is False
+    lmp.command("comm_modify overlap yes")
+    assert lmp.overlap_comm is True
+    lmp.command("comm_modify overlap no")
+    assert lmp.overlap_comm is False
+    from repro.core.errors import InputError
+
+    with pytest.raises(InputError):
+        lmp.command("comm_modify overlap maybe")
+    with pytest.raises(InputError):
+        lmp.command("comm_modify bogus yes")
+
+
+def test_neighbor_partition_is_consistent():
+    """interior + boundary pairs tile the list; masks agree with indices."""
+    ens = make_melt(nranks=2)
+    ens.run(0)
+    for lmp in ens.ranks:
+        nlist = lmp.neigh_list
+        i, j = nlist.ij_pairs()
+        ghost = nlist.ghost_pair_mask()
+        assert ghost.shape == j.shape
+        assert (j[ghost] >= nlist.nlocal).all()
+        assert (j[~ghost] < nlist.nlocal).all()
+        assert nlist.interior_pairs + nlist.boundary_pairs == len(j)
+        assert nlist.boundary_pairs > 0  # a 2-rank brick always has a skin
+        rows = nlist.boundary_rows()
+        has_ghost = np.zeros(nlist.nlocal, dtype=bool)
+        np.logical_or.at(has_ghost, i[ghost], True)
+        np.testing.assert_array_equal(rows, has_ghost)
+
+
+def test_forward_comm_start_matches_blocking_exchange():
+    """The async protocol lands the same ghost coordinates as forward_comm."""
+    blocking = make_melt(nranks=2)
+    asynchronous = make_melt(nranks=2)
+    blocking.run(0)
+    asynchronous.run(0)
+
+    def perturb(ens):
+        for lmp in ens.ranks:
+            lmp.atom.x[: lmp.atom.nlocal] += 0.01 * np.sin(
+                lmp.atom.tag[: lmp.atom.nlocal, None].astype(float)
+            )
+
+    perturb(blocking)
+    perturb(asynchronous)
+    lockstep([lmp.comm_brick.forward_comm(lmp.atom) for lmp in blocking.ranks])
+
+    def start_then_finish(lmp):
+        inflight = lmp.comm_brick.forward_comm_start(lmp.atom)
+        # interior compute would happen here, before the sync point
+        yield from inflight.finish()
+        yield from inflight.finish()  # finishing twice must be harmless
+
+    lockstep([start_then_finish(lmp) for lmp in asynchronous.ranks])
+    for ref, got in zip(blocking.ranks, asynchronous.ranks):
+        np.testing.assert_array_equal(
+            got.atom.x[: got.atom.nall], ref.atom.x[: ref.atom.nall]
+        )
