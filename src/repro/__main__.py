@@ -7,6 +7,7 @@ Mirrors the LAMMPS binary's common flags::
     python -m repro -in melt.in -k on gpu MI300A -sf kk
     python -m repro -in melt.in -np 4                # 4 simulated MPI ranks
     python -m repro -in melt.in -var cells 6 -var temp 1.2
+    python -m repro --bench hotpath                  # refresh BENCH_hotpath.json
 
 ``-var`` values are injected as equal-style variables (usable as ``${name}``
 in the script), ``-k on [gpu <name>]`` selects the simulated device, ``-sf``
@@ -32,8 +33,11 @@ def build_parser() -> argparse.ArgumentParser:
         description="LAMMPS-KOKKOS reproduction: run an input script on "
         "simulated exascale hardware.",
     )
-    p.add_argument("-in", "--input", dest="script", required=True,
+    p.add_argument("-in", "--input", dest="script",
                    help="input script file")
+    p.add_argument("--bench", choices=["hotpath"], default=None,
+                   help="run a wall-clock benchmark instead of a script "
+                   "(writes BENCH_<name>.json in the working directory)")
     p.add_argument("-k", "--kokkos", nargs="*", default=None, metavar="ARG",
                    help="'on [gpu <name>]' enables the simulated device "
                    "(default H100); 'off' forces a pure-host build")
@@ -62,7 +66,15 @@ def resolve_device(kokkos_args: list[str] | None) -> str | None:
 
 
 def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.bench == "hotpath":
+        from repro.bench.hotpath import run_hotpath_bench
+
+        run_hotpath_bench(quiet=args.quiet)
+        return 0
+    if args.script is None:
+        parser.error("an input script (-in FILE) or --bench is required")
     device = resolve_device(args.kokkos)
 
     if args.nranks > 1:

@@ -24,6 +24,7 @@ from repro.bench.scaling import (
     interior_fraction,
     strong_scaling_curve,
 )
+from repro.bench.hotpath import format_hotpath_report, run_hotpath_bench
 from repro.bench.reporting import format_table, format_series
 
 __all__ = [
@@ -40,4 +41,6 @@ __all__ = [
     "format_overlap_report",
     "format_table",
     "format_series",
+    "run_hotpath_bench",
+    "format_hotpath_report",
 ]

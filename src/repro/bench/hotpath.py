@@ -1,0 +1,199 @@
+"""Wall-clock hot-path benchmark: segmented scatter vs ``np.add.at``.
+
+The segmented-reduction subsystem (:mod:`repro.kokkos.segment`) replaces
+every ``np.add.at``/``np.subtract.at`` in the force kernels.  This module
+measures what that actually buys on real workloads, in wall-clock seconds,
+and records the numbers to ``BENCH_hotpath.json`` so the performance
+trajectory of the functional layer is tracked PR over PR.
+
+Two timings per workload and contribution mode:
+
+* ``scatter`` — the force-accumulation hot path alone: the exact scatter
+  calls the force step issues (i-side add + j-side subtract over the
+  in-cutoff pairs), replayed on precomputed pair data.  This isolates the
+  conversion the paper's ScatterView discussion is about.
+* ``step`` — one full ``pair.compute()`` (neighbor gather, distances,
+  kernel evaluation, scatter, tallies), the end-to-end force step.
+
+Both modes run the same pipeline; only :func:`force_scatter_mode` differs.
+Timings are best-of-``repeats`` (robust against scheduler noise on shared
+CI runners).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Callable
+
+import numpy as np
+
+import repro.potentials  # noqa: F401  (register pair styles)
+import repro.snap  # noqa: F401
+from repro.core import Lammps
+from repro.kokkos.segment import ATOMIC, SEGMENTED, force_scatter_mode
+from repro.workloads.melt import setup_melt
+from repro.workloads.tantalum import setup_tantalum
+
+#: default output file (repo-root relative when run from the checkout)
+DEFAULT_OUT = "BENCH_hotpath.json"
+
+
+def _best_of(fn: Callable[[], None], repeats: int) -> float:
+    """Best wall-clock seconds over ``repeats`` calls (after one warmup)."""
+    fn()
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _build_melt(cells: int) -> Lammps:
+    lmp = Lammps(quiet=True)
+    setup_melt(lmp, cells=cells, pair_style="lj/cut")
+    lmp.run(0)
+    return lmp
+
+
+def _build_tantalum(cells: int, twojmax: int) -> Lammps:
+    lmp = Lammps(quiet=True)
+    setup_tantalum(lmp, cells=cells, pair_style="snap", twojmax=twojmax)
+    lmp.run(0)
+    return lmp
+
+
+def _melt_scatter_closure(lmp: Lammps):
+    """The melt force step's scatter hot path, on frozen pair data.
+
+    Reproduces exactly what :meth:`Pair.scatter_pair_forces` does for the
+    in-cutoff pairs of the current neighbor list — the ten converted
+    ``np.add.at`` sites distilled to their common shape.
+    """
+    from repro.kokkos.segment import scatter_add, scatter_sub
+
+    atom, pair, nlist = lmp.atom, lmp.pair, lmp.neigh_list
+    i, j, itype, jtype, cutsq = pair.pair_table(nlist, atom, "all")
+    x = atom.x[: atom.nall]
+    dx = x[i] - x[j]
+    rsq = np.einsum("ij,ij->i", dx, dx)
+    mask = rsq < cutsq
+    i, j, dx, rsq = i[mask], j[mask], dx[mask], rsq[mask]
+    fpair, _ = pair.pair_eval(rsq, itype[mask], jtype[mask])
+    fvec = fpair[:, None] * dx
+    f = np.zeros_like(atom.f)
+
+    def run() -> None:
+        scatter_add(f, i, fvec, assume_sorted=True)
+        scatter_sub(f, j, fvec)
+
+    return run
+
+
+def _time_step(lmp: Lammps, repeats: int) -> float:
+    atom, pair = lmp.atom, lmp.pair
+
+    def run() -> None:
+        atom.f[: atom.nall] = 0.0
+        pair.compute(True, True)
+
+    return _best_of(run, repeats)
+
+
+def bench_melt(cells: int = 8, repeats: int = 10) -> dict:
+    """LJ melt rows: scatter hot path and full force step, both modes."""
+    lmp = _build_melt(cells)
+    scatter = _melt_scatter_closure(lmp)
+    out: dict = {
+        "workload": "melt",
+        "pair_style": "lj/cut",
+        "natoms": int(lmp.natoms_total),
+        "pairs": int(lmp.neigh_list.total_pairs),
+        "repeats": repeats,
+        "scatter_seconds": {},
+        "step_seconds": {},
+    }
+    for mode in (ATOMIC, SEGMENTED):
+        with force_scatter_mode(mode):
+            out["scatter_seconds"][mode] = _best_of(scatter, repeats)
+            out["step_seconds"][mode] = _time_step(lmp, repeats)
+    _finish(out)
+    return out
+
+
+def bench_tantalum(cells: int = 3, twojmax: int = 8, repeats: int = 3) -> dict:
+    """SNAP/Ta rows: full force step both modes (the scatters are embedded
+    in the U/Y/bispectrum contraction kernels, not separable)."""
+    lmp = _build_tantalum(cells, twojmax)
+    out: dict = {
+        "workload": "tantalum",
+        "pair_style": "snap",
+        "twojmax": twojmax,
+        "natoms": int(lmp.natoms_total),
+        "repeats": repeats,
+        "step_seconds": {},
+    }
+    for mode in (ATOMIC, SEGMENTED):
+        with force_scatter_mode(mode):
+            out["step_seconds"][mode] = _time_step(lmp, repeats)
+    _finish(out)
+    return out
+
+
+def _finish(row: dict) -> None:
+    """Derive steps/sec, atom-steps/sec, and the segmented-over-atomic
+    speedups from the raw timings."""
+    step = row["step_seconds"]
+    row["steps_per_second"] = {m: 1.0 / s for m, s in step.items()}
+    row["atom_steps_per_second"] = {
+        m: row["natoms"] / s for m, s in step.items()
+    }
+    row["step_speedup"] = step[ATOMIC] / step[SEGMENTED]
+    if "scatter_seconds" in row:
+        sc = row["scatter_seconds"]
+        row["scatter_speedup"] = sc[ATOMIC] / sc[SEGMENTED]
+
+
+def run_hotpath_bench(
+    *,
+    melt_repeats: int = 10,
+    snap_repeats: int = 3,
+    out_path: str | None = DEFAULT_OUT,
+    quiet: bool = False,
+) -> dict:
+    """Run both workloads, optionally write ``BENCH_hotpath.json``."""
+    results = {
+        "benchmark": "hotpath",
+        "units": "seconds (best-of-repeats wall clock)",
+        "workloads": [
+            bench_melt(repeats=melt_repeats),
+            bench_tantalum(repeats=snap_repeats),
+        ],
+    }
+    if out_path:
+        with open(out_path, "w") as fh:
+            json.dump(results, fh, indent=2)
+            fh.write("\n")
+    if not quiet:
+        print(format_hotpath_report(results))
+    return results
+
+
+def format_hotpath_report(results: dict) -> str:
+    lines = ["hot-path wall clock: segmented reduction vs np.add.at"]
+    for row in results["workloads"]:
+        lines.append(
+            f"  {row['workload']:<9} natoms={row['natoms']:<6} "
+            f"step {row['step_seconds'][ATOMIC] * 1e3:8.3f} -> "
+            f"{row['step_seconds'][SEGMENTED] * 1e3:8.3f} ms  "
+            f"({row['step_speedup']:.2f}x)"
+        )
+        if "scatter_speedup" in row:
+            lines.append(
+                f"  {'':<9} scatter hot path "
+                f"{row['scatter_seconds'][ATOMIC] * 1e3:8.3f} -> "
+                f"{row['scatter_seconds'][SEGMENTED] * 1e3:8.3f} ms  "
+                f"({row['scatter_speedup']:.2f}x)"
+            )
+    return "\n".join(lines)

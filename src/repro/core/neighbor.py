@@ -68,9 +68,27 @@ class NeighborList:
         return self.neighbors[self.first[i] : self.first[i + 1]]
 
     def ij_pairs(self) -> tuple[np.ndarray, np.ndarray]:
-        """Flat ``(i, j)`` arrays covering every stored (i, neighbor) entry."""
-        i = np.repeat(np.arange(self.nlocal), self.numneigh)
-        return i, self.neighbors.astype(np.int64)
+        """Flat ``(i, j)`` arrays covering every stored (i, neighbor) entry.
+
+        Memoized for the life of the build (the row expansion is
+        neighbor-constant; force kernels call this every step).
+        """
+        cached = getattr(self, "_ij_pairs", None)
+        if cached is None:
+            i = np.repeat(np.arange(self.nlocal), self.numneigh)
+            cached = self._ij_pairs = (i, self.neighbors.astype(np.int64))
+        return cached
+
+    def pair_cache(self) -> "PairCache":
+        """The per-rebuild :class:`PairCache` attached to this list.
+
+        Lazily created; a neighbor rebuild produces a fresh
+        :class:`NeighborList`, so attachment doubles as invalidation.
+        """
+        cached = getattr(self, "_pair_cache", None)
+        if cached is None:
+            cached = self._pair_cache = PairCache(self)
+        return cached
 
     # ------------------------------------------------- interior/boundary split
     def boundary_rows(self) -> np.ndarray:
@@ -96,9 +114,13 @@ class NeighborList:
 
         Pair-streaming kernels split at pair granularity: a pair whose j is
         owned reads only positions already current on this rank, so it can be
-        evaluated before the halo exchange completes.
+        evaluated before the halo exchange completes.  Cached per build, like
+        :meth:`boundary_rows` — overlapped runs evaluate it every phase.
         """
-        return self.neighbors >= np.int32(self.nlocal)
+        cached = getattr(self, "_ghost_pair_mask", None)
+        if cached is None:
+            cached = self._ghost_pair_mask = self.neighbors >= np.int32(self.nlocal)
+        return cached
 
     @property
     def interior_pairs(self) -> int:
@@ -114,15 +136,108 @@ class NeighborList:
         On Host the row for one atom is contiguous (cache-friendly serial
         traversal); on Device the first index is fastest so consecutive
         threads read consecutive addresses (coalescing) — the "transparent
-        data layout adjustment" of section 4.1.
+        data layout adjustment" of section 4.1.  Cached per build and space.
         """
+        cache: dict = getattr(self, "_padded_views", None) or {}
+        if not hasattr(self, "_padded_views"):
+            self._padded_views = cache
+        view = cache.get(space)
+        if view is not None:
+            return view
         maxn = int(self.numneigh.max()) if self.nlocal else 0
         view = View((self.nlocal, maxn), dtype=np.int32, space=space, label="neigh2d")
         view.data[...] = -1
         i, j = self.ij_pairs()
-        col = np.concatenate([np.arange(n) for n in self.numneigh]) if self.nlocal else np.zeros(0, int)
-        view.data[i, col] = j.astype(np.int32)
+        if self.total_pairs:
+            # column of each entry within its row: global offset minus the
+            # row start, vectorized (no per-row Python arange)
+            col = np.arange(self.total_pairs, dtype=np.int64) - self.first[i]
+            view.data[i, col] = j.astype(np.int32)
+        cache[space] = view
         return view
+
+
+class PairCache:
+    """Neighbor-constant pair arrays, memoized for the life of one build.
+
+    Everything here depends only on the neighbor list and on arrays that are
+    constant between rebuilds (atom types, pair-style cutoffs), yet the force
+    kernels used to re-derive all of it every call — per-pair type gathers,
+    cutoff-matrix rows, the interior/boundary split, the j-side sort.  One
+    instance hangs off each :class:`NeighborList` (see
+    :meth:`NeighborList.pair_cache`); rebuilds create a fresh list and
+    therefore a fresh, empty cache.
+    """
+
+    def __init__(self, nlist: "NeighborList") -> None:
+        self.nlist = nlist
+        self._types: tuple[np.ndarray, np.ndarray] | None = None
+        self._cutsq: dict[int, np.ndarray] = {}
+        self._j_order: np.ndarray | None = None
+        self._phase_sel: dict[str, np.ndarray | None] = {}
+
+    def ij(self) -> tuple[np.ndarray, np.ndarray]:
+        """Flat ``(i, j)`` over stored pairs (shared with ``ij_pairs``)."""
+        return self.nlist.ij_pairs()
+
+    def type_pairs(self, types: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Per-stored-pair ``(itype, jtype)``.
+
+        Atom types are constant between neighbor rebuilds (migration and
+        sorting trigger a rebuild), so the first gather is reused verbatim.
+        """
+        if self._types is None:
+            i, j = self.ij()
+            self._types = (types[i], types[j])
+        return self._types
+
+    def cutsq_pairs(self, cut: np.ndarray) -> np.ndarray:
+        """Per-stored-pair squared cutoff from a style's cutoff matrix.
+
+        Keyed by the matrix object: coefficients are finalized at ``init()``
+        and stable for the run, and distinct styles get distinct rows.
+        """
+        key = id(cut)
+        cached = self._cutsq.get(key)
+        if cached is None:
+            itype, jtype = self.type_pairs_known()
+            cached = self._cutsq[key] = cut[itype, jtype] ** 2
+        return cached
+
+    def type_pairs_known(self) -> tuple[np.ndarray, np.ndarray]:
+        if self._types is None:
+            raise NeighborError("PairCache.type_pairs(types) must run first")
+        return self._types
+
+    def j_order(self) -> np.ndarray:
+        """Stable permutation sorting stored pairs by destination ``j``.
+
+        The reverse (j-side) reduction segments contributions by the
+        neighbor index; the stable sort keeps each destination's
+        contributions in pair order, so segmented sums reproduce the atomic
+        path's accumulation order.  Worth amortizing when per-pair rows are
+        wide (one gather + one ``reduceat`` replaces a bincount per column);
+        3-wide force rows go through the bincount path instead.
+        """
+        if self._j_order is None:
+            _, j = self.ij()
+            self._j_order = np.argsort(j, kind="stable")
+        return self._j_order
+
+    def phase_sel(self, phase: str) -> np.ndarray | None:
+        """Stored-pair index array for an overlap phase (None = all pairs)."""
+        if phase not in self._phase_sel:
+            if phase == "all":
+                self._phase_sel[phase] = None
+            else:
+                ghost = self.nlist.ghost_pair_mask()
+                if phase == "interior":
+                    self._phase_sel[phase] = np.flatnonzero(~ghost)
+                elif phase == "boundary":
+                    self._phase_sel[phase] = np.flatnonzero(ghost)
+                else:
+                    raise NeighborError(f"unknown compute phase {phase!r}")
+        return self._phase_sel[phase]
 
 
 def _bin_index(x: np.ndarray, origin: np.ndarray, nbins: np.ndarray, inv_size: np.ndarray) -> np.ndarray:

@@ -63,6 +63,10 @@ class KernelProfile:
     shared_kb_per_team: float = 0.0
     #: FP64 atomic additions.
     atomic_ops: float = 0.0
+    #: Extra combine-step traffic of ScatterView's duplicated strategy in
+    #: bytes (the per-thread copies folded into the target, section 3.2) —
+    #: priced as memory traffic, distinct from the atomic-rate term.
+    duplicated_bytes: float = 0.0
     #: Exposed parallelism in independent work items (threads).
     parallel_items: float = 1.0
     #: Fraction of scheduled lanes doing useful work (1.0 = convergent).
@@ -94,6 +98,7 @@ class KernelProfile:
             bytes_reusable=self.bytes_reusable * factor,
             l2_working_set_mb=self.l2_working_set_mb * factor,
             atomic_ops=self.atomic_ops * factor,
+            duplicated_bytes=self.duplicated_bytes * factor,
             parallel_items=self.parallel_items * factor,
         )
 
@@ -108,6 +113,7 @@ class KernelProfile:
             l2_working_set_mb=max(self.l2_working_set_mb, other.l2_working_set_mb),
             shared_kb_per_team=max(self.shared_kb_per_team, other.shared_kb_per_team),
             atomic_ops=self.atomic_ops + other.atomic_ops,
+            duplicated_bytes=self.duplicated_bytes + other.duplicated_bytes,
             parallel_items=max(self.parallel_items, other.parallel_items),
             convergent_fraction=min(self.convergent_fraction, other.convergent_fraction),
             launches=self.launches + other.launches,
@@ -164,8 +170,14 @@ class KernelCostModel:
         l1_hits = profile.bytes_reusable * hit1
         l1_misses = profile.bytes_reusable * (1.0 - hit1)
         hit2 = l2_hit_fraction(gpu.l2_mb, profile.l2_working_set_mb, self.max_l2_hit)
-        hbm_bytes = profile.bytes_streamed + l1_misses * (1.0 - hit2)
-        l2_bytes = profile.bytes_streamed + l1_misses
+        # the duplicated-strategy combine pass streams every copy through the
+        # hierarchy once — extra traffic, but never atomic-rate limited
+        hbm_bytes = (
+            profile.bytes_streamed
+            + profile.duplicated_bytes
+            + l1_misses * (1.0 - hit2)
+        )
+        l2_bytes = profile.bytes_streamed + profile.duplicated_bytes + l1_misses
 
         t_hbm = hbm_bytes / (gpu.hbm_bw_tbs * 1e12)
         t_l2 = l2_bytes / (gpu.l2_bw_tbs * 1e12)
@@ -202,7 +214,11 @@ class KernelCostModel:
         hit = l1_hit_fraction(cpu.core_cache_kb, profile.l1_working_set_kb, 0.98)
         misses = profile.bytes_reusable * (1.0 - hit)
         hit_llc = l2_hit_fraction(cpu.llc_mb, profile.l2_working_set_mb, self.max_l2_hit)
-        mem_bytes = profile.bytes_streamed + misses * (1.0 - hit_llc)
+        mem_bytes = (
+            profile.bytes_streamed
+            + profile.duplicated_bytes
+            + misses * (1.0 - hit_llc)
+        )
 
         t_mem = mem_bytes / (cpu.mem_bw_tbs * 1e12)
         t_flops = profile.flops / (

@@ -22,6 +22,9 @@ from typing import Any
 import numpy as np
 
 from repro.kokkos.core import Device, ExecutionSpace
+from repro.kokkos.segment import ATOMIC as CONTRIB_ATOMIC
+from repro.kokkos.segment import SEGMENTED as CONTRIB_SEGMENTED
+from repro.kokkos.segment import forced_scatter_mode, scatter_add
 from repro.kokkos.view import View
 
 #: Deconfliction strategies.
@@ -30,6 +33,7 @@ DUPLICATED = "duplicated"
 SEQUENTIAL = "sequential"
 
 _STRATEGIES = (ATOMIC, DUPLICATED, SEQUENTIAL)
+_CONTRIBUTIONS = (CONTRIB_ATOMIC, CONTRIB_SEGMENTED)
 
 
 def default_strategy(space: ExecutionSpace) -> str:
@@ -51,6 +55,7 @@ class ScatterView:
         *,
         strategy: str | None = None,
         duplicates: int = 8,
+        contribution: str | None = None,
     ) -> None:
         if strategy is None:
             strategy = default_strategy(target.space)
@@ -61,8 +66,22 @@ class ScatterView:
             )
         if duplicates < 1:
             raise ValueError("duplicates must be >= 1")
+        if contribution is None:
+            # Functional scatter algorithm, tied to the strategy as the paper
+            # describes: atomics execute as np.add.at, duplication's combine
+            # step as a segmented reduction.  A benchmark-forced global mode
+            # (segment.force_scatter_mode) overrides both.
+            contribution = forced_scatter_mode() or (
+                CONTRIB_ATOMIC if strategy == ATOMIC else CONTRIB_SEGMENTED
+            )
+        if contribution not in _CONTRIBUTIONS:
+            raise ValueError(
+                f"unknown ScatterView contribution {contribution!r}; "
+                f"expected one of {_CONTRIBUTIONS}"
+            )
         self.target = target
         self.strategy = strategy
+        self.contribution = contribution
         self.duplicates = duplicates if strategy == DUPLICATED else 1
         self._scratch: np.ndarray | None = None
         self._atomic_adds = 0
@@ -116,8 +135,10 @@ class ScatterAccess:
         """``target[index] += value`` with deconfliction.
 
         ``index`` may be an integer array (unstructured scatter); duplicate
-        indices accumulate correctly via ``np.add.at`` — the semantics of a
-        hardware atomic add.
+        indices accumulate correctly with hardware-atomic-add semantics.
+        The contribution mode picks the algorithm: ``atomic`` issues the
+        unbuffered ``np.add.at``, ``segmented`` reduces per destination first
+        (:mod:`repro.kokkos.segment`) — bit-compatible results either way.
         """
         sv = self._sv
         scratch = sv._scratch[self._dup]
@@ -128,10 +149,12 @@ class ScatterAccess:
             scratch[index] += value
             n = int(value.size)
         else:
-            np.add.at(scratch, index, value)
             if isinstance(index, tuple):
+                # structured multi-axis scatter: keep the ufunc fallback
+                np.add.at(scratch, index, value)
                 n = int(np.broadcast(*[np.asarray(k) for k in index]).size)
             else:
+                scatter_add(scratch, np.asarray(index), value, mode=sv.contribution)
                 n = int(np.asarray(index).size)
             # each scattered element of the value contributes one add
             n = max(n, int(value.size))

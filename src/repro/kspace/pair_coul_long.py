@@ -57,13 +57,12 @@ class PairLJCutCoulLong(LJMixin, Pair):
             g = lmp.kspace.g_ewald
         qqr2e = lmp.update.units.qqr2e
 
-        i, j = nlist.ij_pairs()
+        i, j, itype, jtype, cutsq = self.pair_table(nlist, atom)
         x = atom.x[: atom.nall]
         q = atom.q[: atom.nall]
-        itype, jtype = atom.type[i], atom.type[j]
         dx = x[i] - x[j]
         rsq = np.einsum("ij,ij->i", dx, dx)
-        mask = rsq < self.cut[itype, jtype] ** 2
+        mask = rsq < cutsq
         i, j, dx, rsq = i[mask], j[mask], dx[mask], rsq[mask]
         itype, jtype = itype[mask], jtype[mask]
 
@@ -88,13 +87,9 @@ class PairLJCutCoulLong(LJMixin, Pair):
         fpair = fpair + f_coul
 
         fvec = fpair[:, None] * dx
-        np.add.at(atom.f, i, fvec)
         jlocal = j < atom.nlocal
         newton = lmp.newton_pair
-        if newton:
-            np.subtract.at(atom.f, j, fvec)
-        else:
-            np.subtract.at(atom.f, j[jlocal], fvec[jlocal])
+        self.scatter_pair_forces(atom, i, j, fvec, jlocal, newton)
         if eflag or vflag:
             self.tally_pairs(
                 evdwl, dx, fpair, jlocal, full_list=False, newton=newton,

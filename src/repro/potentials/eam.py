@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.core.errors import InputError
 from repro.core.styles import register_pair
+from repro.kokkos.segment import scatter_add
 from repro.potentials.pair import Pair
 
 
@@ -92,15 +93,18 @@ class PairEAM(EAMMixin, Pair):
         return "full", False
 
     # ------------------------------------------------------------- helpers
-    def _pair_geometry(self, i: np.ndarray, j: np.ndarray):
-        """Cutoff-masked geometry ``(i, j, dx, r, itype, jtype)`` for pairs."""
+    def _pair_geometry(self, phase: str = "all"):
+        """Cutoff-masked geometry ``(i, j, dx, r, itype, jtype)`` for pairs.
+
+        Types and squared cutoffs come from the per-rebuild pair cache; only
+        the geometry is recomputed each step.
+        """
         atom = self.lmp.atom
+        nlist = self.lmp.neigh_list
+        i, j, itype, jtype, cutsq = self.pair_table(nlist, atom, phase)
         x = atom.x[: atom.nall]
-        itype = atom.type[i]
-        jtype = atom.type[j]
         dx = x[i] - x[j]
         rsq = np.einsum("ij,ij->i", dx, dx)
-        cutsq = self.cut[itype, jtype] ** 2
         mask = rsq < cutsq
         i, j, dx = i[mask], j[mask], dx[mask]
         return i, j, dx, np.sqrt(rsq[mask]), itype[mask], jtype[mask]
@@ -113,7 +117,9 @@ class PairEAM(EAMMixin, Pair):
         self.eng_vdwl += float(self.embed(rho_local, types_local).sum())
         atom.fp[: atom.nlocal] = self.dembed(rho_local, types_local)
 
-    def _force_pass(self, i, j, dx, r, itype, jtype, eflag, vflag) -> None:
+    def _force_pass(
+        self, i, j, dx, r, itype, jtype, eflag, vflag, *, sorted_i: bool = True
+    ) -> None:
         atom = self.lmp.atom
         fp_sum = atom.fp[i] + atom.fp[j]
         dphi = self.dphi(r, itype, jtype)
@@ -122,7 +128,7 @@ class PairEAM(EAMMixin, Pair):
         # bond visited from both ends, so no factor 2).
         fpair = -(dphi + fp_sum * ddens) / r
         fvec = fpair[:, None] * dx
-        np.add.at(atom.f, i, fvec)
+        scatter_add(atom.f, i, fvec, assume_sorted=sorted_i)
         if eflag or vflag:
             evdwl = self.phi(r, itype, jtype)
             self.tally_pairs(
@@ -140,10 +146,10 @@ class PairEAM(EAMMixin, Pair):
         if nlist is None or nlist.total_pairs == 0:
             return
 
-        i, j, dx, r, itype, jtype = self._pair_geometry(*nlist.ij_pairs())
+        i, j, dx, r, itype, jtype = self._pair_geometry()
 
         # Loop 1: electron density of owned atoms.
-        np.add.at(atom.rho, i, self.dens(r))
+        scatter_add(atom.rho, i, self.dens(r), assume_sorted=True)
         self._embed_locals()
 
         # Figure 1's "additional communication": ghosts need fp before the
@@ -173,22 +179,21 @@ class PairEAM(EAMMixin, Pair):
             yield from inflight.finish()
             return
 
-        i_all, j_all = nlist.ij_pairs()
-        ghost = nlist.ghost_pair_mask()
-
         # Interior density: both atoms owned, positions already final.
-        ii, ji, dxi, ri, iti, jti = self._pair_geometry(i_all[~ghost], j_all[~ghost])
-        np.add.at(atom.rho, ii, self.dens(ri))
+        ii, ji, dxi, ri, iti, jti = self._pair_geometry("interior")
+        scatter_add(atom.rho, ii, self.dens(ri), assume_sorted=True)
 
         # Synchronize the position halo, then fold in ghost-pair density.
         yield from inflight.finish()
         lmp.mark_host_writes("x")
-        ib, jb, dxb, rb, itb, jtb = self._pair_geometry(i_all[ghost], j_all[ghost])
-        np.add.at(atom.rho, ib, self.dens(rb))
+        ib, jb, dxb, rb, itb, jtb = self._pair_geometry("boundary")
+        scatter_add(atom.rho, ib, self.dens(rb), assume_sorted=True)
         self._embed_locals()
 
         yield from lmp.comm_brick.forward_comm_field(atom, "fp")
 
+        # the interior+boundary concatenation interleaves the i ordering, so
+        # the force scatter cannot assume sorted segments here
         self._force_pass(
             np.concatenate([ii, ib]),
             np.concatenate([ji, jb]),
@@ -198,4 +203,5 @@ class PairEAM(EAMMixin, Pair):
             np.concatenate([jti, jtb]),
             eflag,
             vflag,
+            sorted_i=False,
         )

@@ -23,6 +23,7 @@ import repro.kokkos as kk
 from repro.core.styles import register_pair
 from repro.kokkos.core import Device, Host
 from repro.kokkos.scatter_view import ScatterView
+from repro.kokkos.segment import scatter_add
 from repro.potentials.eam import PairEAM
 
 
@@ -37,13 +38,17 @@ class PairEAMKokkos(PairEAM):
         super().__init__(lmp, args)
 
     # ------------------------------------------------------------- helpers
-    def _device_geometry(self, i: np.ndarray, j: np.ndarray, x, types):
-        """Cutoff-masked pair geometry against the execution-space views."""
-        itype = types[i]
-        jtype = types[j]
+    def _device_geometry(self, phase: str, x):
+        """Cutoff-masked pair geometry against the execution-space views.
+
+        Pair indices, gathered types and squared cutoffs come from the
+        per-rebuild pair cache; only the distances are recomputed.
+        """
+        nlist = self.lmp.neigh_list
+        i, j, itype, jtype, cutsq = self.pair_table(nlist, self.lmp.atom, phase)
         dx = x[i] - x[j]
         rsq = np.einsum("ij,ij->i", dx, dx)
-        mask = rsq < self.cut[itype, jtype] ** 2
+        mask = rsq < cutsq
         stored = len(i)
         i, j, dx = i[mask], j[mask], dx[mask]
         return i, j, dx, np.sqrt(rsq[mask]), itype[mask], jtype[mask], stored
@@ -68,6 +73,7 @@ class PairEAMKokkos(PairEAM):
                 l1_working_set_kb=12.0 * max(nlist.mean_neighbors, 1.0),
                 l2_working_set_mb=24.0 * atom.nlocal / 1e6,
                 atomic_ops=float(sv.atomic_adds),
+                duplicated_bytes=float(sv.duplicated_bytes),
                 parallel_items=float(atom.nlocal),
             ),
         )
@@ -94,7 +100,8 @@ class PairEAMKokkos(PairEAM):
         )
 
     def _force_kernel(
-        self, i, j, dx, r, itype, jtype, stored, fp_view, f_view, eflag, vflag
+        self, i, j, dx, r, itype, jtype, stored, fp_view, f_view, eflag, vflag,
+        *, sorted_i: bool = True,
     ) -> None:
         atom = self.lmp.atom
         nlist = self.lmp.neigh_list
@@ -102,7 +109,7 @@ class PairEAMKokkos(PairEAM):
         fp_sum = fp[i] + fp[j]
         fpair = -(self.dphi(r, itype, jtype) + fp_sum * self.ddens(r)) / r
         fvec = fpair[:, None] * dx
-        np.add.at(f_view.data, i, fvec)
+        scatter_add(f_view.data, i, fvec, assume_sorted=sorted_i)
         self.lmp.atom_kk.modified(self.execution_space, ("f",))
         kk.parallel_for(
             "PairEAMKernelForce",
@@ -160,9 +167,7 @@ class PairEAMKokkos(PairEAM):
             return
 
         x, types, rho_view, fp_view, f_view = self._sync_views()
-        i, j, dx, r, itype, jtype, stored = self._device_geometry(
-            *nlist.ij_pairs(), x, types
-        )
+        i, j, dx, r, itype, jtype, stored = self._device_geometry("all", x)
 
         self._density_kernel(i, r, stored, rho_view)
         self._embed_kernel(rho_view, fp_view, types)
@@ -187,13 +192,9 @@ class PairEAMKokkos(PairEAM):
             return
 
         x, types, rho_view, fp_view, f_view = self._sync_views()
-        i_all, j_all = nlist.ij_pairs()
-        ghost = nlist.ghost_pair_mask()
 
         # Interior density runs against positions already final on this rank.
-        ii, ji, dxi, ri, iti, jti, stored_i = self._device_geometry(
-            i_all[~ghost], j_all[~ghost], x, types
-        )
+        ii, ji, dxi, ri, iti, jti, stored_i = self._device_geometry("interior", x)
         self._density_kernel(ii, ri, stored_i, rho_view, suffix="/interior")
 
         # Synchronize the halo, refresh the device positions, then fold in
@@ -202,9 +203,7 @@ class PairEAMKokkos(PairEAM):
         lmp.mark_host_writes("x")
         atom_kk.sync(space, ("x",))
         x = atom_kk.view("x", space).data
-        ib, jb, dxb, rb, itb, jtb, stored_b = self._device_geometry(
-            i_all[ghost], j_all[ghost], x, types
-        )
+        ib, jb, dxb, rb, itb, jtb, stored_b = self._device_geometry("boundary", x)
         self._density_kernel(ib, rb, stored_b, rho_view, suffix="/boundary")
 
         self._embed_kernel(rho_view, fp_view, types)
@@ -222,4 +221,5 @@ class PairEAMKokkos(PairEAM):
             f_view,
             eflag,
             vflag,
+            sorted_i=False,
         )

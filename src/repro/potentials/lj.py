@@ -109,7 +109,7 @@ class PairLJCut(LJMixin, Pair):
         nlist = self.lmp.neigh_list
         if nlist is None or nlist.total_pairs == 0:
             return
-        self._compute_pairs(*nlist.ij_pairs(), eflag, vflag)
+        self._compute_pairs("all", eflag, vflag)
 
     def compute_phase(
         self, phase: str, eflag: bool = True, vflag: bool = True
@@ -119,20 +119,17 @@ class PairLJCut(LJMixin, Pair):
         nlist = self.lmp.neigh_list
         if nlist is None or nlist.total_pairs == 0:
             return
-        i, j = self.phase_pairs(nlist, phase)
-        if i.size:
-            self._compute_pairs(i, j, eflag, vflag)
+        self._compute_pairs(phase, eflag, vflag)
 
-    def _compute_pairs(
-        self, i: np.ndarray, j: np.ndarray, eflag: bool, vflag: bool
-    ) -> None:
+    def _compute_pairs(self, phase: str, eflag: bool, vflag: bool) -> None:
         atom = self.lmp.atom
+        nlist = self.lmp.neigh_list
         x = atom.x[: atom.nall]
-        itype = atom.type[i]
-        jtype = atom.type[j]
+        i, j, itype, jtype, cutsq = self.pair_table(nlist, atom, phase)
+        if not i.size:
+            return
         dx = x[i] - x[j]
         rsq = np.einsum("ij,ij->i", dx, dx)
-        cutsq = self.cut[itype, jtype] ** 2
         mask = rsq < cutsq
         i, j, dx, rsq = i[mask], j[mask], dx[mask], rsq[mask]
         itype, jtype = itype[mask], jtype[mask]
@@ -140,12 +137,8 @@ class PairLJCut(LJMixin, Pair):
 
         newton = self.lmp.newton_pair
         fvec = fpair[:, None] * dx
-        np.add.at(atom.f, i, fvec)
         jlocal = j < atom.nlocal
-        if newton:
-            np.subtract.at(atom.f, j, fvec)
-        else:
-            np.subtract.at(atom.f, j[jlocal], fvec[jlocal])
+        self.scatter_pair_forces(atom, i, j, fvec, jlocal, newton)
         if eflag or vflag:
             self.tally_pairs(
                 evdwl, dx, fpair, jlocal, full_list=False, newton=newton

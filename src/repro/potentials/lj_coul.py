@@ -76,25 +76,20 @@ class PairLJCutCoulCut(LJCoulMixin, Pair):
         self.reset_tallies()
         if nlist is None or nlist.total_pairs == 0:
             return
-        i, j = nlist.ij_pairs()
+        i, j, itype, jtype, cutsq = self.pair_table(nlist, atom)
         x = atom.x[: atom.nall]
         q = atom.q[: atom.nall]
-        itype, jtype = atom.type[i], atom.type[j]
         dx = x[i] - x[j]
         rsq = np.einsum("ij,ij->i", dx, dx)
-        mask = rsq < self.cut[itype, jtype] ** 2
+        mask = rsq < cutsq
         i, j, dx, rsq = i[mask], j[mask], dx[mask], rsq[mask]
         itype, jtype = itype[mask], jtype[mask]
         fpair, evdwl, ecoul = self.pair_eval_q(
             rsq, itype, jtype, q[i], q[j], lmp.update.units.qqr2e
         )
         fvec = fpair[:, None] * dx
-        np.add.at(atom.f, i, fvec)
         jlocal = j < atom.nlocal
-        if lmp.newton_pair:
-            np.subtract.at(atom.f, j, fvec)
-        else:
-            np.subtract.at(atom.f, j[jlocal], fvec[jlocal])
+        self.scatter_pair_forces(atom, i, j, fvec, jlocal, lmp.newton_pair)
         if eflag or vflag:
             self.tally_pairs(
                 evdwl, dx, fpair, jlocal,

@@ -35,6 +35,7 @@ import numpy as np
 
 from repro.core.errors import InputError
 from repro.core.styles import register_pair
+from repro.kokkos.segment import scatter_add, scatter_sub
 from repro.potentials.pair import Pair
 
 
@@ -132,8 +133,8 @@ class PairMLIAP(Pair):
                 f"{dedr.shape}, expected {rij.shape}"
             )
         self.eng_vdwl += float(ei.sum())
-        np.subtract.at(atom.f, j, dedr)
-        np.add.at(atom.f, i, dedr)
+        scatter_sub(atom.f, j, dedr)
+        scatter_add(atom.f, i, dedr, assume_sorted=True)
         if vflag:
             w = -dedr
             self.virial[0] += float(np.dot(rij[:, 0], w[:, 0]))

@@ -17,6 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.errors import InputError, StyleError
+from repro.kokkos.segment import scatter_add, scatter_mode, scatter_sub
 
 
 class Pair:
@@ -136,6 +137,52 @@ class Pair:
         self.virial[4] += float(np.dot(factor, dx[:, 0] * w[:, 2]))
         self.virial[5] += float(np.dot(factor, dx[:, 1] * w[:, 2]))
 
+    # ----------------------------------------------------- pair-table cache
+    def pair_table(
+        self, nlist, atom, phase: str = "all"
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Neighbor-constant per-pair arrays ``(i, j, itype, jtype, cutsq)``.
+
+        All five come from the list's :class:`~repro.core.neighbor.PairCache`
+        — computed once per rebuild instead of re-gathered every force call.
+        ``phase`` restricts to the interior/boundary split of the overlap
+        driver (itself cached).
+        """
+        cache = nlist.pair_cache()
+        i, j = cache.ij()
+        itype, jtype = cache.type_pairs(atom.type)
+        cutsq = cache.cutsq_pairs(self.cut)
+        sel = cache.phase_sel(phase)
+        if sel is None:
+            return i, j, itype, jtype, cutsq
+        return i[sel], j[sel], itype[sel], jtype[sel], cutsq[sel]
+
+    def scatter_pair_forces(
+        self,
+        atom,
+        i: np.ndarray,
+        j: np.ndarray,
+        fvec: np.ndarray,
+        jlocal: np.ndarray,
+        newton: bool,
+    ) -> None:
+        """Accumulate ``+fvec`` on i and ``-fvec`` on j (half-list styles).
+
+        The i side is a sorted segmented reduction (stored pairs are
+        row-major, and cutoff masks preserve that order).  The j side is
+        unsorted; for 3-wide force rows the per-column bincount inside
+        :func:`~repro.kokkos.segment.scatter_sub` beats replaying the pair
+        cache's j-sort, which would have to gather the value rows into
+        sorted order every step (wide per-pair rows are where
+        ``PairCache.j_order`` pays off instead).
+        """
+        mode = scatter_mode()
+        scatter_add(atom.f, i, fvec, mode=mode, assume_sorted=True)
+        if newton:
+            scatter_sub(atom.f, j, fvec, mode=mode)
+        else:
+            scatter_sub(atom.f, j[jlocal], fvec[jlocal], mode=mode)
+
     # ------------------------------------------------- interior/boundary
     @staticmethod
     def phase_pairs(nlist, phase: str) -> tuple[np.ndarray, np.ndarray]:
@@ -143,18 +190,15 @@ class Pair:
 
         ``"all"`` is the whole list; ``"interior"`` keeps pairs whose j atom
         is owned (safe to evaluate while the halo exchange is in flight);
-        ``"boundary"`` keeps pairs whose j atom is a ghost.
+        ``"boundary"`` keeps pairs whose j atom is a ghost.  The selection
+        indices are memoized on the list's pair cache.
         """
         i, j = nlist.ij_pairs()
         if phase == "all":
             return i, j
-        ghost = nlist.ghost_pair_mask()
-        if phase == "interior":
-            sel = ~ghost
-        elif phase == "boundary":
-            sel = ghost
-        else:
+        if phase not in ("interior", "boundary"):
             raise StyleError(f"unknown compute phase {phase!r}")
+        sel = nlist.pair_cache().phase_sel(phase)
         return i[sel], j[sel]
 
     def compute_phase(

@@ -31,6 +31,7 @@ import repro.kokkos as kk
 from repro.core.errors import InputError
 from repro.kokkos.core import Device, Host
 from repro.kokkos.scatter_view import ScatterView
+from repro.kokkos.segment import scatter_add, scatter_mode
 from repro.potentials.pair import Pair
 
 #: FP64 operations per attempted pair in a generic cheap pair kernel
@@ -108,8 +109,7 @@ class PairKokkos(Pair):
         self.reset_tallies()
         if self.lmp.neigh_list is None or self.lmp.neigh_list.total_pairs == 0:
             return
-        i, j = self.lmp.neigh_list.ij_pairs()
-        self._compute_pairs(i, j, eflag, vflag, name_suffix="")
+        self._compute_pairs("all", eflag, vflag, name_suffix="")
 
     def compute_phase(
         self, phase: str, eflag: bool = True, vflag: bool = True
@@ -119,14 +119,12 @@ class PairKokkos(Pair):
         nlist = self.lmp.neigh_list
         if nlist is None or nlist.total_pairs == 0:
             return
-        i, j = self.phase_pairs(nlist, phase)
         suffix = "" if phase == "all" else f"/{phase}"
-        self._compute_pairs(i, j, eflag, vflag, name_suffix=suffix)
+        self._compute_pairs(phase, eflag, vflag, name_suffix=suffix)
 
     def _compute_pairs(
         self,
-        i: np.ndarray,
-        j: np.ndarray,
+        phase: str,
         eflag: bool,
         vflag: bool,
         *,
@@ -143,14 +141,11 @@ class PairKokkos(Pair):
         atom_kk.sync(space, ("x", "type", "f"))
         x_view = atom_kk.view("x", space)
         f_view = atom_kk.view("f", space)
-        type_arr = atom_kk.view("type", space).data
 
+        i, j, itype, jtype, cutsq = self.pair_table(nlist, atom, phase)
         x = x_view.data
-        itype = type_arr[i]
-        jtype = type_arr[j]
         dx = x[i] - x[j]
         rsq = np.einsum("ij,ij->i", dx, dx)
-        cutsq = self.cut[itype, jtype] ** 2
         mask = rsq < cutsq
         stored_pairs = len(i)
         i, j, dx, rsq = i[mask], j[mask], dx[mask], rsq[mask]
@@ -161,9 +156,14 @@ class PairKokkos(Pair):
         full = self.neigh_mode == "full"
         jlocal = j < atom.nlocal
         atomic_adds = 0
+        duplicated_bytes = 0.0
         if full:
-            # One thread per atom sums its own row: conflict-free.
-            np.add.at(f_view.data, i, fvec)
+            # One thread per atom sums its own row: conflict-free, so this
+            # is a per-row segmented reduction regardless of the execution
+            # space (the row-major list keeps i sorted).
+            scatter_add(
+                f_view.data, i, fvec, mode=scatter_mode(), assume_sorted=True
+            )
         else:
             sv = ScatterView(f_view)
             acc = sv.access()
@@ -174,6 +174,7 @@ class PairKokkos(Pair):
                 acc.add(j[jlocal], -fvec[jlocal])
             sv.contribute()
             atomic_adds = sv.atomic_adds
+            duplicated_bytes = float(sv.duplicated_bytes)
         atom_kk.modified(space, ("f",))
 
         if eflag or vflag:
@@ -187,6 +188,7 @@ class PairKokkos(Pair):
             cut_pairs=len(rsq),
             mean_neighbors=nlist.mean_neighbors,
             atomic_adds=atomic_adds,
+            duplicated_bytes=duplicated_bytes,
         )
         policy = self._policy(atom.nlocal, nlist.mean_neighbors)
         kk.parallel_for(
@@ -209,6 +211,7 @@ class PairKokkos(Pair):
         cut_pairs: int,
         mean_neighbors: float,
         atomic_adds: int,
+        duplicated_bytes: float = 0.0,
     ) -> kk.KernelProfile:
         """Cost profile from measured workload statistics."""
         convergent = cut_pairs / max(stored_pairs, 1)
@@ -235,6 +238,7 @@ class PairKokkos(Pair):
             / 1024.0,
             l2_working_set_mb=72.0 * natoms / 1e6,
             atomic_ops=float(atomic_adds) * self.atomic_conflict_factor,
+            duplicated_bytes=duplicated_bytes,
             parallel_items=parallel,
             convergent_fraction=convergent,
             cpu_efficiency=self.cpu_efficiency,

@@ -99,13 +99,12 @@ class PairTable(Pair):
         self.reset_tallies()
         if nlist is None or nlist.total_pairs == 0:
             return
-        i, j = nlist.ij_pairs()
+        i, j, itype, jtype, cutsq = self.pair_table(nlist, atom)
         x = atom.x[: atom.nall]
-        itype, jtype = atom.type[i], atom.type[j]
         dx = x[i] - x[j]
         rsq = np.einsum("ij,ij->i", dx, dx)
         inner = self.rsq_grid[0]
-        mask = (rsq < self.cut[itype, jtype] ** 2) & (rsq >= inner)
+        mask = (rsq < cutsq) & (rsq >= inner)
         if np.any(rsq < inner):
             raise InputError(
                 "pair distance below the table's inner bound; atoms overlapping"
@@ -115,12 +114,8 @@ class PairTable(Pair):
         fpair = self._interp(self.f_table, rsq, itype, jtype)
         evdwl = self._interp(self.e_table, rsq, itype, jtype)
         fvec = fpair[:, None] * dx
-        np.add.at(atom.f, i, fvec)
         jlocal = j < atom.nlocal
         newton = lmp.newton_pair
-        if newton:
-            np.subtract.at(atom.f, j, fvec)
-        else:
-            np.subtract.at(atom.f, j[jlocal], fvec[jlocal])
+        self.scatter_pair_forces(atom, i, j, fvec, jlocal, newton)
         if eflag or vflag:
             self.tally_pairs(evdwl, dx, fpair, jlocal, full_list=False, newton=newton)

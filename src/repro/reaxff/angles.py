@@ -16,6 +16,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.kokkos.segment import scatter_add
 from repro.reaxff.bond_order import BondList
 from repro.reaxff.bonds import accumulate_virial
 from repro.reaxff.params import ReaxParams
@@ -122,9 +123,9 @@ def compute_angles(
     fc = -(dEdu + dEdv)
     fj = dEdu
     fk = dEdv
-    np.add.at(f, c, fc)
-    np.add.at(f, j, fj)
-    np.add.at(f, k, fk)
+    scatter_add(f, c, fc, assume_sorted=True)  # centers are laid out contiguously
+    scatter_add(f, j, fj)
+    scatter_add(f, k, fk)
     accumulate_virial(virial, x[c], fc)
     accumulate_virial(virial, x[j], fj)
     accumulate_virial(virial, x[k], fk)

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.kokkos.segment import scatter_add, scatter_sub
 from repro.reaxff.bond_order import BondList
 from repro.reaxff.params import ReaxParams
 
@@ -54,8 +55,8 @@ def compute_bonds(
     # dE/dr = -De dBO/dr; F_i = -dE/dr * dx/r
     fpair = de * dbo / r
     fvec = fpair[:, None] * dx
-    np.add.at(f, i, fvec)
-    np.subtract.at(f, j, fvec)
+    scatter_add(f, i, fvec, assume_sorted=True)
+    scatter_sub(f, j, fvec)
     accumulate_virial(virial, x[i], fvec)
     accumulate_virial(virial, x[j], -fvec)
     return energy

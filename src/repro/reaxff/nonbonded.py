@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.kokkos.segment import scatter_add
 from repro.reaxff.params import ReaxParams
 
 
@@ -89,7 +90,7 @@ def compute_nonbonded(
     ecoul = 0.5 * float(e_cou_pair.sum())
     fpair = -de_total / r
     fvec = fpair[:, None] * dx
-    np.add.at(f, i, fvec)
+    scatter_add(f, i, fvec, assume_sorted=True)
     # per-visit half virial (sums to the full pair virial over both visits)
     virial[0] += 0.5 * float(np.dot(dx[:, 0], fvec[:, 0]))
     virial[1] += 0.5 * float(np.dot(dx[:, 1], fvec[:, 1]))

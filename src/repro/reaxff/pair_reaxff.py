@@ -125,7 +125,9 @@ class PairReaxFF(Pair):
         stats["qeq_slots"] = matrix.stored_slots
         qeq_out: dict = {}
         chi_local = params.chi[species[:nlocal]]
-        yield from equilibrate_charges_gen(lmp, matrix, chi_local, qeq_out)
+        yield from equilibrate_charges_gen(
+            lmp, matrix, chi_local, qeq_out, tol=self.qeq_tol
+        )
         atom.q[:nlocal] = qeq_out["q"]
         stats["qeq_iterations"] = qeq_out["iterations"]
         yield from lmp.comm_brick.forward_comm_field(atom, "q")

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.kokkos.segment import scatter_add
 from repro.reaxff.bond_order import BondList
 from repro.reaxff.bonds import accumulate_virial
 from repro.reaxff.params import ReaxParams
@@ -200,6 +201,6 @@ def compute_torsions(
     dEdxl -= t_jl
 
     for idx, dE in ((k, dEdxk), (i, dEdxi), (j, dEdxj), (l, dEdxl)):
-        np.add.at(f, idx, -dE)
+        scatter_add(f, idx, -dE)
         accumulate_virial(virial, x[idx], -dE)
     return energy

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.kokkos.segment import scatter_add_columns, scatter_mode
 from repro.snap.indexing import SnapIndex
 
 #: chunk of contraction terms evaluated per vector op (memory bound)
@@ -23,16 +24,19 @@ def compute_bispectrum(U: np.ndarray, twojmax: int) -> np.ndarray:
     t = idx.tensor
     natoms = U.shape[0]
     B = np.zeros((natoms, idx.nbispectrum), dtype=np.complex128)
-    rows = np.arange(natoms)[:, None]
+    mode = scatter_mode()
     for lo in range(0, t.nterms, _TERM_CHUNK):
-        sl = slice(lo, min(lo + _TERM_CHUNK, t.nterms))
+        hi = min(lo + _TERM_CHUNK, t.nterms)
+        sl = slice(lo, hi)
         vals = (
             t.coeff[sl]
             * U[:, t.in1[sl]]
             * U[:, t.in2[sl]]
             * np.conj(U[:, t.out[sl]])
         )
-        np.add.at(B, (rows, t.ib[sl][None, :]), vals)
+        scatter_add_columns(
+            B, vals, t.column_plan("ib", lo, hi), mode=mode, cols=t.ib[sl]
+        )
     imag = float(np.abs(B.imag).max()) if B.size else 0.0
     if imag > 1e-8 * max(float(np.abs(B.real).max()), 1.0):
         raise FloatingPointError(

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.kokkos.segment import scatter_add
 from repro.snap.indexing import SnapIndex
 from repro.snap.wigner import compute_u_blocks, switching
 
@@ -40,7 +41,9 @@ def compute_ui(
     sfac, _ = switching(r, rcut, rmin0)
 
     U = np.zeros((natoms, idx.idxu_max), dtype=np.complex128)
-    np.add.at(U, pair_i, sfac[:, None] * u_pairs)
+    # pair_i follows the row-major list ordering, so the per-atom totals are
+    # one reduceat over contiguous segments instead of atomic adds
+    scatter_add(U, pair_i, sfac[:, None] * u_pairs, assume_sorted=True)
     U[:, idx.diag_indices()] += wself
     return U, u_pairs, sfac
 

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.kokkos.segment import scatter_add_columns, scatter_mode
 from repro.snap.indexing import SnapIndex
 
 _TERM_CHUNK = 16384
@@ -35,23 +36,34 @@ def compute_yi(
     """``(Y12, Y3)``: adjoints of the energy with respect to U / conj(U)."""
     idx = SnapIndex(twojmax)
     t = idx.tensor
-    natoms = U.shape[0]
     if beta.shape != (idx.nbispectrum,):
         raise ValueError(
             f"beta has {beta.shape}, expected ({idx.nbispectrum},)"
         )
     y12 = np.zeros_like(U)
     y3 = np.zeros_like(U)
-    rows = np.arange(natoms)[:, None]
+    mode = scatter_mode()
     for lo in range(0, t.nterms, _TERM_CHUNK):
-        sl = slice(lo, min(lo + _TERM_CHUNK, t.nterms))
+        hi = min(lo + _TERM_CHUNK, t.nterms)
+        sl = slice(lo, hi)
         w = beta[t.ib[sl]] * t.coeff[sl]
         u1 = U[:, t.in1[sl]]
         u2 = U[:, t.in2[sl]]
         cu3 = np.conj(U[:, t.out[sl]])
-        np.add.at(y12, (rows, t.in1[sl][None, :]), w * u2 * cu3)
-        np.add.at(y12, (rows, t.in2[sl][None, :]), w * u1 * cu3)
-        np.add.at(y3, (rows, t.out[sl][None, :]), w * u1 * u2)
+        # column scatters over the memoized per-chunk term sort (natoms is
+        # only a batch axis — the reduction runs along the term axis)
+        scatter_add_columns(
+            y12, w * u2 * cu3, t.column_plan("in1", lo, hi),
+            mode=mode, cols=t.in1[sl],
+        )
+        scatter_add_columns(
+            y12, w * u1 * cu3, t.column_plan("in2", lo, hi),
+            mode=mode, cols=t.in2[sl],
+        )
+        scatter_add_columns(
+            y3, w * u1 * u2, t.column_plan("out", lo, hi),
+            mode=mode, cols=t.out[sl],
+        )
     return y12, y3
 
 

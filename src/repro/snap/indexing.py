@@ -13,10 +13,11 @@ All angular momenta use the doubled (``2j``) integer convention.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.kokkos.segment import column_scatter_plan
 from repro.snap.cg import clebsch_gordan, triangle_ok
 
 
@@ -33,10 +34,25 @@ class ContractionTensor:
     in1: np.ndarray  # flat index into U_j1
     in2: np.ndarray  # flat index into U_j2
     coeff: np.ndarray  # real coefficient (product of two CG values)
+    #: memoized column-scatter plans keyed by (index field, term range) —
+    #: the destination columns are a property of the quantum-number tensor,
+    #: so the sort is paid once per twojmax, not once per force call
+    _column_plans: dict = field(default_factory=dict, repr=False, compare=False)
 
     @property
     def nterms(self) -> int:
         return len(self.coeff)
+
+    def column_plan(
+        self, name: str, lo: int, hi: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Segmented-scatter plan for ``<name>[lo:hi]`` destination columns."""
+        key = (name, lo, hi)
+        plan = self._column_plans.get(key)
+        if plan is None:
+            plan = column_scatter_plan(getattr(self, name)[lo:hi])
+            self._column_plans[key] = plan
+        return plan
 
 
 class SnapIndex:

@@ -24,6 +24,7 @@ import repro.kokkos as kk
 from repro.core.errors import InputError
 from repro.core.styles import register_pair
 from repro.kokkos.core import Device, Host
+from repro.kokkos.segment import scatter_add, scatter_sub
 from repro.potentials.pair import Pair
 from repro.snap.bispectrum import compute_bispectrum
 from repro.snap.compute_deidrj import compute_fused_deidrj
@@ -116,8 +117,8 @@ class PairSNAP(Pair):
         dedr = compute_fused_deidrj(
             rij, i, Y12, Y3, self.rcut, self.twojmax, rmin0=self.rmin0
         )
-        np.subtract.at(atom.f, j, dedr)
-        np.add.at(atom.f, i, dedr)
+        scatter_sub(atom.f, j, dedr)
+        scatter_add(atom.f, i, dedr, assume_sorted=True)
         if vflag:
             w = -dedr
             self.virial[0] += float(np.dot(rij[:, 0], w[:, 0]))

@@ -72,6 +72,39 @@ class TestRuns:
         with pytest.raises(InputError, match="undefined variable"):
             main(["-in", script, "--quiet"])  # ${cells} never defined
 
-    def test_missing_script_flag(self):
+    def test_missing_script_and_bench_flags(self):
         with pytest.raises(SystemExit):
-            build_parser().parse_args([])
+            main([])
+
+    def test_bench_flag_needs_no_script(self):
+        args = build_parser().parse_args(["--bench", "hotpath"])
+        assert args.bench == "hotpath" and args.script is None
+
+
+class TestBenchEntry:
+    def test_main_dispatches_to_hotpath_bench(self, monkeypatch):
+        import repro.bench.hotpath as hp
+
+        calls = []
+        monkeypatch.setattr(
+            hp, "run_hotpath_bench", lambda **kw: calls.append(kw) or {}
+        )
+        assert main(["--bench", "hotpath", "--quiet"]) == 0
+        assert calls == [{"quiet": True}]
+
+    def test_hotpath_bench_writes_json(self, tmp_path):
+        import json
+
+        from repro.bench.hotpath import run_hotpath_bench
+
+        out = tmp_path / "BENCH_hotpath.json"
+        # one repeat: the plumbing is under test here, not the timings
+        results = run_hotpath_bench(
+            melt_repeats=1, snap_repeats=1, quiet=True, out_path=str(out)
+        )
+        data = json.loads(out.read_text())
+        assert data["benchmark"] == "hotpath"
+        assert [w["workload"] for w in data["workloads"]] == ["melt", "tantalum"]
+        for row in results["workloads"]:
+            assert row["step_speedup"] > 0.0
+            assert set(row["step_seconds"]) == {"atomic", "segmented"}
