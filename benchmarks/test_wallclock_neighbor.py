@@ -1,0 +1,73 @@
+"""Wall-clock neighbor subsystem: shared BinGrid vs the legacy builder.
+
+Real seconds, not modeled silicon: the shared-grid half-stencil rebuild
+must be ≥2× faster than the pre-overhaul 27-stencil builder on the melt
+workload (measured in-repo via the ``force_stencil_mode`` legacy override),
+ReaxFF HNS steps must perform exactly one bin-grid assembly per neighbor
+rebuild, and end-to-end step time must not regress on any workload.
+Results land in ``BENCH_neighbor.json`` at the repo root so each PR extends
+the recorded performance trajectory.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+from conftest import emit
+
+from repro.bench.neighbor import (
+    format_neighbor_report,
+    run_neighbor_bench,
+    validate_neighbor_bench,
+)
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_neighbor.json"
+
+
+@pytest.fixture(scope="module")
+def neighbor_bench():
+    return run_neighbor_bench(out_path=str(BENCH_JSON), quiet=True)
+
+
+def row(results: dict, workload: str) -> dict:
+    return next(w for w in results["workloads"] if w["workload"] == workload)
+
+
+def test_melt_rebuild_2x(neighbor_bench):
+    """Isolated melt neighbor rebuild: shared grid ≥2× over legacy."""
+    melt = row(neighbor_bench, "melt")
+    assert melt["rebuild_speedup"] >= 2.0, (
+        f"shared-grid rebuild only {melt['rebuild_speedup']:.2f}x over legacy"
+    )
+
+
+def test_one_bin_grid_per_rebuild(neighbor_bench):
+    """HNS: the pair list and the ReaxFF bond list share one grid."""
+    hns = row(neighbor_bench, "hns")
+    assert hns["rebuilds"] >= 1
+    assert hns["grid_builds_per_rebuild"] == 1.0, (
+        f"{hns['grid_builds_per_rebuild']:.2f} bin-grid builds per rebuild; "
+        "a value above 1.0 means some list re-binned instead of sharing"
+    )
+
+
+def test_step_time_never_slower(neighbor_bench):
+    """End-to-end dynamics must not regress under the shared builder.
+
+    The recorded JSON carries the exact ratios; the assertion leaves a
+    small allowance for CI timer noise on runs where neighbor work is a
+    sliver of the step (SNAP forces dwarf it).
+    """
+    for name in ("melt", "hns", "tantalum"):
+        r = row(neighbor_bench, name)
+        assert r["step_speedup"] >= 0.9, (
+            f"{name}: shared-mode step {1.0 / r['step_speedup']:.2f}x slower"
+        )
+
+
+def test_bench_json_recorded(neighbor_bench):
+    """BENCH_neighbor.json exists and matches the published schema."""
+    assert BENCH_JSON.exists()
+    validate_neighbor_bench(neighbor_bench)
+    emit(format_neighbor_report(neighbor_bench))

@@ -35,7 +35,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("-in", "--input", dest="script",
                    help="input script file")
-    p.add_argument("--bench", choices=["hotpath"], default=None,
+    p.add_argument("--bench", choices=["hotpath", "neighbor"], default=None,
                    help="run a wall-clock benchmark instead of a script "
                    "(writes BENCH_<name>.json in the working directory)")
     p.add_argument("-k", "--kokkos", nargs="*", default=None, metavar="ARG",
@@ -72,6 +72,11 @@ def main(argv: list[str] | None = None) -> int:
         from repro.bench.hotpath import run_hotpath_bench
 
         run_hotpath_bench(quiet=args.quiet)
+        return 0
+    if args.bench == "neighbor":
+        from repro.bench.neighbor import run_neighbor_bench
+
+        run_neighbor_bench(quiet=args.quiet)
         return 0
     if args.script is None:
         parser.error("an input script (-in FILE) or --bench is required")

@@ -25,6 +25,11 @@ from repro.bench.scaling import (
     strong_scaling_curve,
 )
 from repro.bench.hotpath import format_hotpath_report, run_hotpath_bench
+from repro.bench.neighbor import (
+    format_neighbor_report,
+    run_neighbor_bench,
+    validate_neighbor_bench,
+)
 from repro.bench.reporting import format_table, format_series
 
 __all__ = [
@@ -43,4 +48,7 @@ __all__ = [
     "format_series",
     "run_hotpath_bench",
     "format_hotpath_report",
+    "run_neighbor_bench",
+    "format_neighbor_report",
+    "validate_neighbor_bench",
 ]

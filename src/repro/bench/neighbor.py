@@ -1,0 +1,261 @@
+"""Wall-clock neighbor-subsystem benchmark: shared BinGrid vs legacy builder.
+
+The neighbor overhaul (shared :class:`~repro.core.bin_grid.BinGrid`,
+half-stencil builds, skin-amortized multi-cutoff lists, spatial atom
+sorting) targets the cost that dominates once force kernels are fast
+(paper section 4.1).  This module measures what it actually buys, in
+wall-clock seconds, and records the numbers to ``BENCH_neighbor.json``:
+
+* ``rebuild`` — one isolated ``build_neighbor_list`` call on the melt
+  configuration, legacy 27-stencil path vs the shared-grid half-stencil
+  path, on frozen coordinates (the acceptance-criterion measurement).
+* ``step`` — end-to-end ``run()`` wall clock per step in both modes, so
+  regressions anywhere in the rebuild pipeline (sorting, grid assembly,
+  bond-list caching) show up against the old builder.
+* ``grid_builds_per_rebuild`` — on the ReaxFF HNS workload, the number of
+  :class:`BinGrid` assemblies per neighbor rebuild.  Exactly 1.0 means the
+  pair list *and* the bond-search list shared one grid; the pre-overhaul
+  pipeline re-binned for the bond list every force call.
+
+Timings are best-of-``repeats`` (robust against scheduler noise on shared
+CI runners); mode comparisons run on fresh, identically-seeded engines.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import repro.potentials  # noqa: F401  (register pair styles)
+import repro.reaxff  # noqa: F401
+import repro.snap  # noqa: F401
+from repro.core import Lammps
+from repro.core.bin_grid import BinGrid
+from repro.core.neighbor import (
+    LEGACY,
+    SHARED,
+    build_neighbor_list,
+    force_stencil_mode,
+)
+from repro.workloads.hns import setup_hns
+from repro.workloads.melt import setup_melt
+from repro.workloads.tantalum import setup_tantalum
+
+#: default output file (repo-root relative when run from the checkout)
+DEFAULT_OUT = "BENCH_neighbor.json"
+
+#: every workload row carries these keys — the schema guard in the test
+#: suite pins them so downstream tooling can rely on the file shape
+ROW_KEYS = ("workload", "pair_style", "natoms", "step_seconds", "step_speedup")
+
+
+def _fresh(workload: str) -> Lammps:
+    """A ready-to-run engine for one workload (fixed seeds throughout)."""
+    lmp = Lammps(quiet=True)
+    if workload == "melt":
+        setup_melt(lmp, cells=8, pair_style="lj/cut")
+    elif workload == "hns":
+        # the production 10 A taper exceeds the small test box; 5 A keeps
+        # cutghost inside the domain while exercising the full pipeline
+        setup_hns(lmp, pair_style="reaxff cutoff 5.0")
+    elif workload == "tantalum":
+        setup_tantalum(lmp, cells=3, pair_style="snap", twojmax=8)
+    else:  # pragma: no cover - internal misuse
+        raise ValueError(f"unknown workload {workload!r}")
+    lmp.run(0)
+    return lmp
+
+
+def _time_steps(workload: str, nsteps: int, repeats: int) -> dict:
+    """Best per-step wall seconds for ``nsteps`` dynamics, both modes.
+
+    Modes are interleaved within each repeat — running all of one mode's
+    repeats before the other lets slow machine-load drift masquerade as a
+    speedup (or a regression) between the two halves of the measurement.
+    """
+    best = {LEGACY: float("inf"), SHARED: float("inf")}
+    for _ in range(repeats):
+        for mode in (LEGACY, SHARED):
+            with force_stencil_mode(mode):
+                lmp = _fresh(workload)
+                lmp.run(2)  # warmup: JIT-less but primes allocators/caches
+                t0 = time.perf_counter()
+                lmp.run(nsteps)
+                best[mode] = min(best[mode], time.perf_counter() - t0)
+    return {mode: t / nsteps for mode, t in best.items()}
+
+
+def bench_melt(repeats: int = 5, nsteps: int = 20) -> dict:
+    """Melt rows: isolated rebuild wall clock (the 2x criterion) + steps."""
+    with force_stencil_mode(SHARED):
+        lmp = _fresh("melt")
+    atom = lmp.atom
+    x = atom.x[: atom.nall].copy()  # frozen coordinates: identical work
+    nlocal = atom.nlocal
+    cutghost = lmp.pair.max_cutoff() + lmp.neighbor.skin
+    style, newton = lmp.pair.neighbor_request()
+
+    out: dict = {
+        "workload": "melt",
+        "pair_style": "lj/cut",
+        "natoms": int(lmp.natoms_total),
+        "pairs": int(lmp.neigh_list.total_pairs),
+        "repeats": repeats,
+        "rebuild_seconds": {},
+        "step_seconds": {},
+    }
+    best = {LEGACY: float("inf"), SHARED: float("inf")}
+    for mode in (LEGACY, SHARED):  # warm both paths before timing
+        with force_stencil_mode(mode):
+            build_neighbor_list(x, nlocal, cutghost, style=style, newton=newton)
+    for _ in range(repeats):  # interleaved: drift hits both modes alike
+        for mode in (LEGACY, SHARED):
+            with force_stencil_mode(mode):
+                t0 = time.perf_counter()
+                build_neighbor_list(
+                    x, nlocal, cutghost, style=style, newton=newton
+                )
+                best[mode] = min(best[mode], time.perf_counter() - t0)
+    out["rebuild_seconds"] = dict(best)
+    out["step_seconds"] = _time_steps("melt", nsteps, 2)
+    out["rebuild_speedup"] = (
+        out["rebuild_seconds"][LEGACY] / out["rebuild_seconds"][SHARED]
+    )
+    _finish(out)
+    return out
+
+
+def bench_hns(nsteps: int = 12) -> dict:
+    """ReaxFF HNS row: end-to-end steps + the one-grid-per-rebuild counter.
+
+    ``neigh_modify every 10 check no`` means a 12-step run performs a known
+    handful of rebuilds; the :class:`BinGrid` construction counter across
+    the run divided by the rebuild count is the shared-grid assertion.
+    """
+    out: dict = {
+        "workload": "hns",
+        "pair_style": "reaxff",
+        "step_seconds": _time_steps("hns", nsteps, 2),
+    }
+    with force_stencil_mode(SHARED):
+        lmp = _fresh("hns")
+        builds0 = lmp.neighbor.builds
+        grids0 = BinGrid.builds_total
+        lmp.run(nsteps)
+        rebuilds = lmp.neighbor.builds - builds0
+        grids = BinGrid.builds_total - grids0
+    out["natoms"] = int(lmp.natoms_total)
+    out["steps"] = nsteps
+    out["rebuilds"] = int(rebuilds)
+    out["grid_builds_per_rebuild"] = grids / max(rebuilds, 1)
+    _finish(out)
+    return out
+
+
+def bench_tantalum(nsteps: int = 3, repeats: int = 3) -> dict:
+    """SNAP/Ta row: the expensive-force regime, where neighbor cost must at
+    least never regress end-to-end."""
+    out: dict = {
+        "workload": "tantalum",
+        "pair_style": "snap",
+        "step_seconds": _time_steps("tantalum", nsteps, repeats),
+    }
+    with force_stencil_mode(SHARED):
+        lmp = _fresh("tantalum")
+    out["natoms"] = int(lmp.natoms_total)
+    out["steps"] = nsteps
+    _finish(out)
+    return out
+
+
+def _finish(row: dict) -> None:
+    step = row["step_seconds"]
+    row["step_speedup"] = step[LEGACY] / step[SHARED]
+
+
+def validate_neighbor_bench(results: dict) -> None:
+    """Raise ``ValueError`` unless ``results`` matches the published schema.
+
+    CI runs this on the freshly-written ``BENCH_neighbor.json``; the test
+    suite runs it on the checked-in copy, so schema drift is caught on both
+    ends before downstream tooling sees it.
+    """
+    for key in ("benchmark", "units", "workloads"):
+        if key not in results:
+            raise ValueError(f"neighbor bench JSON missing top-level {key!r}")
+    if results["benchmark"] != "neighbor":
+        raise ValueError(f"unexpected benchmark id {results['benchmark']!r}")
+    names = []
+    for row in results["workloads"]:
+        for key in ROW_KEYS:
+            if key not in row:
+                raise ValueError(
+                    f"workload row {row.get('workload', '?')!r} missing {key!r}"
+                )
+        for mode in (LEGACY, SHARED):
+            if mode not in row["step_seconds"]:
+                raise ValueError(
+                    f"workload {row['workload']!r} missing {mode} step timing"
+                )
+        names.append(row["workload"])
+    for required in ("melt", "hns", "tantalum"):
+        if required not in names:
+            raise ValueError(f"neighbor bench missing workload {required!r}")
+    melt = results["workloads"][names.index("melt")]
+    for key in ("rebuild_seconds", "rebuild_speedup"):
+        if key not in melt:
+            raise ValueError(f"melt row missing {key!r}")
+    hns = results["workloads"][names.index("hns")]
+    if "grid_builds_per_rebuild" not in hns:
+        raise ValueError("hns row missing 'grid_builds_per_rebuild'")
+
+
+def run_neighbor_bench(
+    *,
+    melt_repeats: int = 5,
+    out_path: str | None = DEFAULT_OUT,
+    quiet: bool = False,
+) -> dict:
+    """Run all workloads, optionally write ``BENCH_neighbor.json``."""
+    results = {
+        "benchmark": "neighbor",
+        "units": "seconds (best-of-repeats wall clock)",
+        "workloads": [
+            bench_melt(repeats=melt_repeats),
+            bench_hns(),
+            bench_tantalum(),
+        ],
+    }
+    validate_neighbor_bench(results)
+    if out_path:
+        with open(out_path, "w") as fh:
+            json.dump(results, fh, indent=2)
+            fh.write("\n")
+    if not quiet:
+        print(format_neighbor_report(results))
+    return results
+
+
+def format_neighbor_report(results: dict) -> str:
+    lines = ["neighbor wall clock: shared bin grid vs legacy 27-stencil"]
+    for row in results["workloads"]:
+        lines.append(
+            f"  {row['workload']:<9} natoms={row['natoms']:<6} "
+            f"step {row['step_seconds'][LEGACY] * 1e3:8.3f} -> "
+            f"{row['step_seconds'][SHARED] * 1e3:8.3f} ms  "
+            f"({row['step_speedup']:.2f}x)"
+        )
+        if "rebuild_seconds" in row:
+            lines.append(
+                f"  {'':<9} isolated rebuild "
+                f"{row['rebuild_seconds'][LEGACY] * 1e3:8.3f} -> "
+                f"{row['rebuild_seconds'][SHARED] * 1e3:8.3f} ms  "
+                f"({row['rebuild_speedup']:.2f}x)"
+            )
+        if "grid_builds_per_rebuild" in row:
+            lines.append(
+                f"  {'':<9} bin-grid builds per rebuild = "
+                f"{row['grid_builds_per_rebuild']:.2f} "
+                f"(over {row['rebuilds']} rebuilds)"
+            )
+    return "\n".join(lines)

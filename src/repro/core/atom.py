@@ -60,6 +60,13 @@ class AtomVec:
         self.type = np.zeros(0, dtype=np.int32)
         #: bumped on every reallocation so aliases (AtomKokkos) can refresh.
         self.generation = 0
+        #: bumped on every spatial reorder of the owned atoms; index-keyed
+        #: consumers (comm sendlists, minimizer velocity state) compare this
+        #: to detect that their cached indices went stale.
+        self.reorder_generation = 0
+        #: the permutation applied by the most recent :meth:`reorder_local`
+        #: (``new[k] = old[perm[k]]``), for consumers that can remap.
+        self.last_reorder_perm: np.ndarray | None = None
 
     # ------------------------------------------------------------- sizing
     @property
@@ -132,6 +139,28 @@ class AtomVec:
         self.tag[:n] = tags
         self.q[:n] = q if q is not None else 0.0
         self.nlocal = n
+
+    # ------------------------------------------------------------ reordering
+    def reorder_local(self, perm: np.ndarray) -> None:
+        """Permute the owned atoms in place (``atom_modify sort``).
+
+        ``perm`` maps new slots to old (``new[k] = old[perm[k]]``).  Must run
+        while no ghosts exist — between ``exchange`` and ``borders`` — so
+        ghost indices and comm sendlists are rebuilt against the new order by
+        construction rather than remapped.  The permutation is applied
+        in place so AtomKokkos dual views (which alias these arrays) stay
+        valid.
+        """
+        if self.nghost:
+            raise LammpsError("cannot reorder atoms while ghosts exist")
+        n = self.nlocal
+        if perm.shape != (n,):
+            raise LammpsError(f"reorder perm shape {perm.shape} != ({n},)")
+        for name in self.FIELD_DTYPES:
+            arr = getattr(self, name)
+            arr[:n] = arr[:n][perm]
+        self.reorder_generation += 1
+        self.last_reorder_perm = perm
 
     # -------------------------------------------------------------- ghosts
     def clear_ghosts(self) -> None:

@@ -87,6 +87,9 @@ class CommBrick:
     #: Ghost cutoff: force cutoff + neighbor skin.
     cutghost: float
     swaps: list[Swap] = field(default_factory=list)
+    #: ``atom.reorder_generation`` when the swaps were recorded; a spatial
+    #: sort after borders would silently invalidate every sendlist index.
+    _swap_reorder_gen: int = -1
 
     def __post_init__(self) -> None:
         if self.cutghost <= 0.0:
@@ -133,11 +136,27 @@ class CommBrick:
         need = int(np.ceil(self.cutghost / sub_len - 1e-12))
         return max(1, min(need, self.decomp.grid[dim]))
 
+    def _check_sendlists(self, atom: AtomVec) -> None:
+        """Refuse to replay swaps recorded against a different atom order.
+
+        Spatial sorting permutes the owned atoms; sendlist indices recorded
+        before a sort would ship the wrong atoms.  The rebuild sequence
+        sorts *between* exchange and borders precisely so this never fires —
+        it is a guard against future reorderings in the wrong place.
+        """
+        if self.swaps and self._swap_reorder_gen != atom.reorder_generation:
+            raise CommError(
+                "communication swaps are stale: atoms were reordered after "
+                "borders recorded the sendlists (sort must happen before "
+                "borders, never between borders and forward/reverse comm)"
+            )
+
     # -------------------------------------------------------------- borders
     def borders(self, atom: AtomVec, periodic: tuple[bool, bool, bool]) -> Iterator[None]:
         """Rebuild the ghost shell (generator; one yield per swap)."""
         atom.clear_ghosts()
         self.swaps = []
+        self._swap_reorder_gen = atom.reorder_generation
         for dim in range(3):
             # Candidates for this dimension's first hop: owned atoms plus
             # ghosts received in *earlier* dimensions only — including this
@@ -197,6 +216,7 @@ class CommBrick:
     # --------------------------------------------------------- forward comm
     def forward_comm(self, atom: AtomVec) -> Iterator[None]:
         """Refresh ghost positions over the recorded swaps (per-step path)."""
+        self._check_sendlists(atom)
         for k, swap in enumerate(self.swaps):
             buf = atom.x[swap.sendlist] + swap.shift
             self.comm.send(swap.send_to, buf, ("fwd", k))
@@ -232,6 +252,7 @@ class CommBrick:
         EAM forward-communicates derivative terms between the density and
         force loops (figure 1's "additional communication").
         """
+        self._check_sendlists(atom)
         arr = getattr(atom, name)
         for k, swap in enumerate(self.swaps):
             self.comm.send(swap.send_to, arr[swap.sendlist].copy(), ("fwdf", name, k))
@@ -246,6 +267,7 @@ class CommBrick:
         Runs the swaps in reverse so contributions that landed on a ghost of
         a ghost retrace both hops (exactly LAMMPS's reverse pass).
         """
+        self._check_sendlists(atom)
         arr = getattr(atom, name)
         for k, swap in reversed(list(enumerate(self.swaps))):
             buf = arr[swap.firstrecv : swap.firstrecv + swap.nrecv].copy()

@@ -303,6 +303,22 @@ class Input:
             raise InputError("negative neighbor skin")
         self.lmp.neighbor.skin = skin
 
+    def cmd_atom_modify(self, args: list[str]) -> None:
+        """``atom_modify sort <every> <binsize>``: spatial sort control.
+
+        ``every`` counts neighbor rebuilds between sorts (0 disables);
+        ``binsize 0.0`` uses the ghost cutoff, as in LAMMPS.
+        """
+        self._need(args, 3, "atom_modify sort <every> <binsize>")
+        if args[0] != "sort":
+            raise InputError("atom_modify supports only: sort <every> <binsize>")
+        every = int(args[1])
+        binsize = float(args[2])
+        if every < 0 or binsize < 0:
+            raise InputError("atom_modify sort: every/binsize must be >= 0")
+        self.lmp.sort_every = every
+        self.lmp.sort_binsize = binsize
+
     def cmd_comm_modify(self, args: list[str]) -> None:
         """``comm_modify overlap <yes|no>``: comm/compute overlap toggle."""
         it = iter(args)

@@ -26,7 +26,13 @@ from repro.core.domain import BlockRegion, Domain, Lattice
 from repro.core.errors import InputError, LammpsError
 from repro.core.integrate import Verlet
 from repro.core.modify import Modify
-from repro.core.neighbor import Neighbor, build_neighbor_list
+from repro.core.bin_grid import BinGrid, spatial_sort_order
+from repro.core.neighbor import (
+    SHARED,
+    Neighbor,
+    build_neighbor_list,
+    stencil_mode,
+)
 from repro.core.styles import resolve_style
 from repro.core.thermo import Thermo
 from repro.core.update import Update
@@ -65,6 +71,14 @@ class Lammps:
         self.comm_brick: CommBrick | None = None
         self.neighbor = Neighbor(skin=self.update.units.skin)
         self.neigh_list = None
+        #: Per-rebuild shared bin grid (largest cutoff); every list built
+        #: for the same configuration reuses it instead of re-binning.
+        self.bin_grid: BinGrid | None = None
+        #: ``atom_modify sort <every> <binsize>``: reorder owned atoms into
+        #: bin-major order every Nth rebuild (0 disables).  Default on, as
+        #: in LAMMPS, for cache locality in every downstream gather.
+        self.sort_every = 1
+        self.sort_binsize = 0.0  # 0 -> use the ghost cutoff
         self.pair = None
         self.kspace = None
         self.modify = Modify()
@@ -305,8 +319,31 @@ class Lammps:
             self.atom_kk.sync(Host, fields)
 
     # ---------------------------------------------------------- neighboring
+    def _maybe_sort_atoms(self, binsize: float) -> bool:
+        """Spatially sort owned atoms (``atom_modify sort``), if due.
+
+        Runs between ``exchange`` (no ghosts exist) and ``borders`` (ghost
+        indices and comm sendlists are recorded against the new order), so
+        no remapping of ghosts or swaps is ever needed.
+        """
+        atom = self.require_box()
+        if (
+            self.sort_every <= 0
+            or stencil_mode() != SHARED
+            or atom.nlocal == 0
+            or self.neighbor.builds % self.sort_every
+        ):
+            return False
+        size = self.sort_binsize if self.sort_binsize > 0.0 else binsize
+        perm = spatial_sort_order(atom.x[: atom.nlocal], size)
+        if np.array_equal(perm, np.arange(atom.nlocal)):
+            return False
+        atom.reorder_local(perm)
+        self.mark_host_writes(*AtomVec.FIELD_DTYPES)
+        return True
+
     def rebuild_gen(self) -> Iterator[None]:
-        """Migrate -> borders -> neighbor build."""
+        """Migrate -> sort -> borders -> shared bin grid -> neighbor build."""
         atom = self.require_box()
         if self.pair is None:
             raise LammpsError("neighbor rebuild requires a pair style")
@@ -315,7 +352,19 @@ class Lammps:
             assert self.decomp is not None
             self.comm_brick = CommBrick(self.comm, self.decomp, cutghost)
         yield from self.comm_brick.exchange(atom, self.domain.wrap)
+        sorted_atoms = self._maybe_sort_atoms(cutghost)
         yield from self.comm_brick.borders(atom, self.domain.periodic)
+        # One bin grid per rebuild, at the largest requested cutoff: the
+        # pair list below and any multi-cutoff consumer this step (ReaxFF
+        # bond list, species analysis) share it instead of re-binning.
+        if stencil_mode() == SHARED:
+            # half-cutoff bins (LAMMPS's choice): shorter-cutoff consumers
+            # get proportionally tighter stencils from the same grid
+            self.bin_grid = BinGrid(
+                atom.x[: atom.nall], atom.nlocal, 0.5 * cutghost
+            )
+        else:
+            self.bin_grid = None
         style, newton = self.pair.neighbor_request()
         self.neigh_list = build_neighbor_list(
             atom.x[: atom.nall],
@@ -323,26 +372,32 @@ class Lammps:
             cutghost,  # force cutoff + skin, LAMMPS's Verlet-list radius
             style=style,
             newton=newton,
+            grid=self.bin_grid,
         )
         self.neighbor.record_build(self.update.ntimestep, atom.x[: atom.nlocal])
         if self._kokkos_active():
             # A GPU-resident run builds the bin/neighbor structures on the
-            # device; charge the build so strong-scaling tails see it.
+            # device; charge each stage so strong-scaling tails see it.
             import repro.kokkos as kk
+            from repro.hardware.cost import neighbor_build_profiles
 
-            pairs = self.neigh_list.total_pairs
-            kk.parallel_for(
-                "NeighborBuild",
-                kk.RangePolicy(self.pair.execution_space, 0, max(atom.nlocal, 1)),
-                lambda idx: None,
-                profile=kk.KernelProfile(
-                    name="NeighborBuild",
-                    flops=12.0 * pairs,
-                    bytes_streamed=8.0 * pairs + 64.0 * atom.nall,
-                    atomic_ops=float(atom.nall),  # bin counters
-                    parallel_items=float(max(atom.nlocal, 1)),
-                ),
-            )
+            for profile in neighbor_build_profiles(
+                pairs=self.neigh_list.total_pairs,
+                nall=atom.nall,
+                nlocal=atom.nlocal,
+                binned=self.bin_grid is not None or stencil_mode() != SHARED,
+                sorted_atoms=sorted_atoms,
+            ):
+                kk.parallel_for(
+                    profile.name,
+                    kk.RangePolicy(
+                        self.pair.execution_space,
+                        0,
+                        int(profile.parallel_items),
+                    ),
+                    lambda idx: None,
+                    profile=profile,
+                )
 
     def count_atoms_gen(self) -> Iterator[None]:
         atom = self.require_box()
@@ -371,6 +426,11 @@ class Lammps:
             "modeled_comm": self.world.ledger.total() - comm0,
             "steps": nsteps,
             "overlap_steps": self.overlap_steps,
+            "neighbor_builds": self.neighbor.builds,
+            "ave_neighs": (
+                self.neigh_list.mean_neighbors if self.neigh_list else 0.0
+            ),
+            "max_neighs": self.neigh_list.maxneigh if self.neigh_list else 0,
         }
         if not self.thermo.quiet and nsteps > 0:
             self._print_run_summary()
@@ -391,6 +451,14 @@ class Lammps:
             )
         if s["modeled_comm"] > 0:
             print(f"Modeled communication time: {s['modeled_comm']:.4g} s")
+        if self.neigh_list is not None:
+            # LAMMPS's post-loop neighbor line; max_neighs is the padded-row
+            # width a fixed-capacity engine must not overflow
+            print(
+                f"Ave neighs/atom = {s['ave_neighs']:.5g}, "
+                f"max neighs = {s['max_neighs']}"
+            )
+            print(f"Neighbor list builds = {s['neighbor_builds']}")
 
     def minimize(self, etol: float, ftol: float, maxiter: int) -> "object":
         """Relax the configuration; returns a MinimizeResult."""

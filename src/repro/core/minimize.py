@@ -118,9 +118,14 @@ class Minimizer:
             lmp.world.reduce_contribute(key, float(flag))
             yield
             if lmp.world.reduce_result(key) > 0.0:
+                regen = lmp.atom.reorder_generation
                 yield from lmp.rebuild_gen()
                 if lmp.atom.nlocal != n:
-                    v = np.zeros((lmp.atom.nlocal, 3))
+                    v = np.zeros((lmp.atom.nlocal, 3))  # ownership changed
+                elif lmp.atom.reorder_generation != regen:
+                    # spatial sort permuted the owned atoms in place; carry
+                    # the FIRE velocity state through the same permutation
+                    v = v[lmp.atom.last_reorder_perm]
             else:
                 yield from lmp.comm_brick.forward_comm(atom)
             yield from lmp.verlet.force_cycle()

@@ -25,16 +25,53 @@ section 4.1's data-layout discussion.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
+from typing import Iterator
 
 import numpy as np
 
+from repro.core.bin_grid import BinGrid
 from repro.core.errors import NeighborError, OverflowGuardError
 from repro.kokkos.core import ExecutionSpace, Host
 from repro.kokkos.view import View
 
 #: Expansion chunk: bounds peak memory of the candidate-pair blow-up.
 _CHUNK_ATOMS = 65536
+#: Shared-builder candidate budget per filter pass (see ``_build_shared``).
+_CHUNK_CANDIDATES = 4_000_000
+
+#: Stencil modes.  ``shared`` is the production builder: a reusable
+#: :class:`~repro.core.bin_grid.BinGrid` plus a half stencil that generates
+#: each same-rank pair once.  ``legacy`` is the pre-overhaul build (global
+#: argsort, 27-cell full scan, filter-after for half lists), kept intact so
+#: ``--bench neighbor`` can time the new path against the old one in-repo.
+SHARED = "shared"
+LEGACY = "legacy"
+_STENCIL_MODES = (SHARED, LEGACY)
+
+_forced_stencil: str | None = None
+
+
+def stencil_mode() -> str:
+    """The active build mode (``shared`` unless a benchmark pins legacy)."""
+    return _forced_stencil if _forced_stencil is not None else SHARED
+
+
+@contextmanager
+def force_stencil_mode(mode: str | None) -> Iterator[None]:
+    """Pin the neighbor build mode globally (None restores the default)."""
+    global _forced_stencil
+    if mode is not None and mode not in _STENCIL_MODES:
+        raise NeighborError(
+            f"unknown stencil mode {mode!r}; expected one of {_STENCIL_MODES}"
+        )
+    prev = _forced_stencil
+    _forced_stencil = mode
+    try:
+        yield
+    finally:
+        _forced_stencil = prev
 
 
 @dataclass
@@ -63,6 +100,21 @@ class NeighborList:
     @property
     def mean_neighbors(self) -> float:
         return self.total_pairs / max(self.nlocal, 1)
+
+    @property
+    def maxneigh(self) -> int:
+        """Widest row of the list, computed once per build.
+
+        Sizes the padded 2-D views and feeds the thermo overflow-guard
+        reporting ("ave neighs/atom, max neighs") — a fixed-capacity
+        engine would overflow when this exceeds its per-row allocation.
+        """
+        cached = getattr(self, "_maxneigh", None)
+        if cached is None:
+            cached = self._maxneigh = (
+                int(self.numneigh.max()) if self.nlocal else 0
+            )
+        return cached
 
     def neighbors_of(self, i: int) -> np.ndarray:
         return self.neighbors[self.first[i] : self.first[i + 1]]
@@ -144,7 +196,7 @@ class NeighborList:
         view = cache.get(space)
         if view is not None:
             return view
-        maxn = int(self.numneigh.max()) if self.nlocal else 0
+        maxn = self.maxneigh
         view = View((self.nlocal, maxn), dtype=np.int32, space=space, label="neigh2d")
         view.data[...] = -1
         i, j = self.ij_pairs()
@@ -254,12 +306,18 @@ def build_neighbor_list(
     style: str = "full",
     newton: bool = False,
     chunk: int = _CHUNK_ATOMS,
+    grid: BinGrid | None = None,
 ) -> NeighborList:
     """Build a neighbor list over ``x`` (owned atoms first, then ghosts).
 
     ``x`` must already include the ghost shell out to ``cutoff`` — the
     caller (border communication) guarantees any atom within the cutoff of
     an owned atom is present.
+
+    ``grid`` is an optional pre-built :class:`BinGrid` over the *same*
+    coordinates (typically at a larger bin size — the per-rebuild shared
+    grid): reusing it skips the bin assembly entirely.  A grid whose atom
+    partitioning does not match is ignored and a private one is built.
     """
     if style not in ("half", "full"):
         raise NeighborError(f"unknown neighbor list style {style!r}")
@@ -276,7 +334,163 @@ def build_neighbor_list(
         )
     if nlocal == 0:
         return NeighborList(style, newton, cutoff, 0, np.zeros(1, np.int64), np.zeros(0, np.int32))
+    if stencil_mode() == SHARED:
+        return _build_shared(x, nlocal, cutoff, style, newton, chunk, grid)
+    return _build_legacy(x, nlocal, cutoff, style, newton, chunk)
 
+
+def _build_shared(
+    x: np.ndarray,
+    nlocal: int,
+    cutoff: float,
+    style: str,
+    newton: bool,
+    chunk: int,
+    grid: BinGrid | None,
+) -> NeighborList:
+    """Shared-grid builder: half stencil + counting-merge CSR assembly.
+
+    Half lists scan the in-cell tail (slot order plays ``j > i``) plus the
+    13 lexicographically "upper" cells for *all* members, generating each
+    same-rank pair exactly once — no build-full-then-filter.  Ghost pairs
+    are decided by the coordinate tie-break (grid-independent, so both
+    ranks agree), which forces one extra ghost-only sweep of lower cells;
+    with newton on only the same-z-layer lower cells can win the tie-break
+    (a strictly lower z-bin implies a strictly smaller z coordinate), so
+    that sweep shrinks from 13 cells to 4.
+
+    Chunks partition the row range, so each chunk owns a contiguous CSR
+    segment: its kept pairs need only a (small) per-chunk stable sort by
+    row before sliding straight into the flat neighbor array — the global
+    argsort over all candidates is gone.
+    """
+    nall = x.shape[0]
+    grid_builds = 0
+    if (
+        grid is None
+        or grid.nall != nall
+        or (style == "half" and grid.nlocal != nlocal)
+    ):
+        # half-cutoff bins, as in LAMMPS: a 2-ring stencil over finer cells
+        # covers ~42% less volume than 1-ring over cutoff-sized cells, so
+        # the distance filter sees far fewer candidates
+        grid = BinGrid(x, nlocal, 0.5 * cutoff)
+        grid_builds = 1
+    cutsq = cutoff * cutoff
+    candidates = 0
+    # Component columns: 1-D gathers through the candidate index arrays are
+    # markedly cheaper than (n, 3) row gathers, and the distance filter is
+    # the dominant cost of the build.  The j side uses the *slot-ordered*
+    # copies — candidate slots are contiguous per stencil cell, so those
+    # gathers stream nearly sequential memory.
+    xs0, xs1, xs2 = grid.columns()
+    so0, so1, so2 = grid.slot_columns()
+
+    if style == "full":
+        scans = [(grid.stencil_offsets(cutoff), "all")]
+    else:
+        upper, lower = grid.half_offsets(cutoff)
+        if newton:
+            # a strictly lower z-bin means a strictly smaller z coordinate,
+            # which can never win the z-first tie-break: only the same-z
+            # lower cells can contribute surviving ghost pairs.
+            lower = lower[lower[:, 2] == 0]
+        scans = [(upper, "all"), (lower, "ghost")]
+
+    # Adapt the row chunk to a candidate budget: one concatenated filter
+    # pass per chunk is fastest when its temporaries stay cache-resident,
+    # and catastrophically slower when tens of millions of candidates spill
+    # to main memory.  Estimated candidates per row = atoms/bin x cells.
+    if chunk == _CHUNK_ATOMS:  # explicit chunk requests are honored as-is
+        ncells = sum(len(offs) for offs, _ in scans) + (1 if style == "half" else 0)
+        per_row = max(nall / max(float(np.prod(grid.nbins)), 1.0), 1.0) * max(ncells, 1)
+        chunk = max(min(chunk, int(_CHUNK_CANDIDATES / per_row)), 1024)
+
+    numneigh = np.zeros(nlocal, dtype=np.int64)
+    chunk_rows: list[np.ndarray] = []
+    for lo in range(0, nlocal, chunk):
+        hi = min(lo + chunk, nlocal)
+        rows = np.arange(lo, hi, dtype=np.int64)
+        batches = []
+        if style == "half":
+            tail = grid.self_tail(rows)
+            if tail is not None:
+                batches.append(tail)
+        for offsets, members in scans:
+            batches.extend(grid.scan(rows, offsets, members))
+        if not batches:
+            chunk_rows.append(np.zeros(0, dtype=np.int64))
+            continue
+        ib = np.concatenate([b[0] for b in batches])
+        js = np.concatenate([b[1] for b in batches])
+        candidates += len(ib)
+        d0 = xs0[ib] - so0[js]
+        d1 = xs1[ib] - so1[js]
+        d2 = xs2[ib] - so2[js]
+        d0 *= d0
+        d1 *= d1
+        d0 += d1
+        d2 *= d2
+        d0 += d2
+        # distance filter first; the slot->atom gather and style fix-ups
+        # below then run over the surviving fraction only (an order of
+        # magnitude fewer pairs)
+        sel = np.flatnonzero(d0 < cutsq)
+        ib, jb = ib[sel], grid.order[js[sel]]
+        if style == "full":
+            nz = ib != jb
+            ib, jb = ib[nz], jb[nz]
+        elif newton:
+            # ghost pairs: LAMMPS's coordinate tie-break, exactly as in the
+            # legacy path — one of the two images survives globally.
+            gsel = np.flatnonzero(jb >= nlocal)
+            if len(gsel):
+                ig, jg = ib[gsel], jb[gsel]
+                zi, zj = xs2[ig], xs2[jg]
+                yi, yj = xs1[ig], xs1[jg]
+                win = (zj > zi) | (
+                    (zj == zi)
+                    & ((yj > yi) | ((yj == yi) & (xs0[jg] > xs0[ig])))
+                )
+                keep = np.ones(len(ib), dtype=bool)
+                keep[gsel[~win]] = False
+                ib, jb = ib[keep], jb[keep]
+        # kept pairs are a small fraction of the candidates: a stable sort
+        # here costs little and restores row-major order within the chunk
+        order = np.argsort(ib, kind="stable")
+        ib, jb = ib[order], jb[order]
+        numneigh[lo:hi] += np.bincount(ib - lo, minlength=hi - lo)
+        chunk_rows.append(jb)
+
+    first = np.zeros(nlocal + 1, dtype=np.int64)
+    np.cumsum(numneigh, out=first[1:])
+    neighbors = (
+        np.concatenate(chunk_rows).astype(np.int32)
+        if chunk_rows
+        else np.zeros(0, dtype=np.int32)
+    )
+
+    nl = NeighborList(style, newton, cutoff, nlocal, first, neighbors)
+    nl.build_stats = {
+        "mode": SHARED,
+        "candidates": candidates,
+        "grid_builds": grid_builds,
+    }
+    return nl
+
+
+def _build_legacy(
+    x: np.ndarray,
+    nlocal: int,
+    cutoff: float,
+    style: str,
+    newton: bool,
+    chunk: int,
+) -> NeighborList:
+    """The pre-overhaul builder: global argsort binning, 27-cell full scan,
+    half lists derived by filtering the full candidate set.  Benchmark
+    baseline for ``--bench neighbor``; produces the same pair sets."""
+    nall = x.shape[0]
     origin = x.min(axis=0) - 1e-9
     top = x.max(axis=0) + 1e-9
     span = np.maximum(top - origin, cutoff)
@@ -302,6 +516,7 @@ def build_neighbor_list(
     )
 
     cutsq = cutoff * cutoff
+    candidates = 0
     rows_i: list[np.ndarray] = []
     rows_j: list[np.ndarray] = []
 
@@ -330,6 +545,7 @@ def build_neighbor_list(
             within = np.arange(total, dtype=np.int64) - np.repeat(csum, cnt)
             j = order[np.repeat(starts[nbin], cnt) + within]
             i = np.repeat(iv, cnt)
+            candidates += len(i)
             dx = x[i] - x[j]
             rsq = np.einsum("ij,ij->i", dx, dx)
             keep = (rsq < cutsq) & (i != j)
@@ -377,7 +593,9 @@ def build_neighbor_list(
     numneigh = np.bincount(ii, minlength=nlocal)
     first = np.zeros(nlocal + 1, dtype=np.int64)
     np.cumsum(numneigh, out=first[1:])
-    return NeighborList(style, newton, cutoff, nlocal, first, jj.astype(np.int32))
+    nl = NeighborList(style, newton, cutoff, nlocal, first, jj.astype(np.int32))
+    nl.build_stats = {"mode": LEGACY, "candidates": candidates, "grid_builds": 0}
+    return nl
 
 
 def brute_force_pairs(x: np.ndarray, nlocal: int, cutoff: float) -> set[tuple[int, int]]:

@@ -247,6 +247,67 @@ class KernelCostModel:
         return p / (p + max(half, 1.0))
 
 
+def neighbor_build_profiles(
+    *,
+    pairs: int,
+    nall: int,
+    nlocal: int,
+    binned: bool = True,
+    sorted_atoms: bool = False,
+) -> list[KernelProfile]:
+    """Priced kernels of one neighbor rebuild (paper section 4.1).
+
+    Three launches mirror the build pipeline:
+
+    * ``NeighborBinAssembly`` — the counting-sort bin pass: stream the
+      coordinates once, scatter-count into bin counters (the atomic term),
+      then write the bin-major permutation and its inverse.  Emitted only
+      when a fresh grid was assembled — a list served by the shared
+      per-rebuild grid skips it, which is exactly the saving the shared
+      :class:`~repro.core.bin_grid.BinGrid` buys.
+    * ``NeighborBuild`` — the stencil scan + distance filter.  The formula
+      is deliberately kept from the pre-overhaul model (it conservatively
+      folds the bin counters in), so figure projections are comparable
+      across the neighbor-subsystem change.
+    * ``AtomSort`` — the ``atom_modify sort`` permutation: every per-atom
+      field read and rewritten once, pure bandwidth.
+
+    Returns the profiles in launch order; callers dispatch each through the
+    Kokkos layer so the timeline records them individually.
+    """
+    profiles: list[KernelProfile] = []
+    if sorted_atoms:
+        # x/v/f rows (3 x 24 B) + q/rho/fp (3 x 8 B) + tag (8 B) + type (4 B),
+        # read old + write new
+        profiles.append(
+            KernelProfile(
+                name="AtomSort",
+                bytes_streamed=2.0 * 108.0 * nlocal,
+                parallel_items=float(max(nlocal, 1)),
+            )
+        )
+    if binned:
+        profiles.append(
+            KernelProfile(
+                name="NeighborBinAssembly",
+                # coordinates in (24 B) + key/order/inverse passes (3 x 8 B)
+                bytes_streamed=48.0 * nall,
+                atomic_ops=float(nall),  # scatter-count into bin counters
+                parallel_items=float(max(nall, 1)),
+            )
+        )
+    profiles.append(
+        KernelProfile(
+            name="NeighborBuild",
+            flops=12.0 * pairs,
+            bytes_streamed=8.0 * pairs + 64.0 * nall,
+            atomic_ops=float(nall),  # bin counters
+            parallel_items=float(max(nlocal, 1)),
+        )
+    )
+    return profiles
+
+
 def overlapped_phase_time(
     t_comm: float, t_interior: float, t_boundary: float
 ) -> float:

@@ -25,7 +25,7 @@ import numpy as np
 
 import repro.kokkos as kk
 from repro.core.errors import InputError
-from repro.core.neighbor import build_neighbor_list
+from repro.core.neighbor import SHARED, build_neighbor_list, stencil_mode
 from repro.core.styles import register_pair
 from repro.kokkos.core import Device, Host
 from repro.potentials.pair import Pair
@@ -61,6 +61,16 @@ class PairReaxFF(Pair):
         self.type_map: np.ndarray | None = None
         #: diagnostics of the last compute (kernel sizes, QEq iterations)
         self.last_stats: dict = {}
+        # Skin-amortized bond-search list: keyed on the engine's pair-list
+        # *object* (a rebuild creates a fresh NeighborList, so identity
+        # doubles as the invalidation signal; holding the reference keeps
+        # id() collisions impossible).
+        self._bond_nlist = None
+        self._bond_nlist_key = None
+        # Last bond-order table, reusable within one configuration (same
+        # timestep + same pair list) by the species analysis.
+        self._last_bonds = None
+        self._last_bonds_key = None
 
     def coeff(self, args: list[str]) -> None:
         """``pair_coeff * * chno <elem-per-type...>`` maps types to species."""
@@ -97,6 +107,56 @@ class PairReaxFF(Pair):
     def max_cutoff(self) -> float:
         return self.params.rcut_nonb
 
+    # ------------------------------------------------------- bond-search list
+    def bond_neighbor_list(self):
+        """Bond-search list over ALL atoms (ghosts get their own rows).
+
+        Built at ``rcut_bond + skin`` from the per-rebuild shared
+        :class:`~repro.core.bin_grid.BinGrid` and reused until the engine's
+        rebuild policy produces a fresh pair list — the skin-amortized
+        multi-cutoff request.  The downstream bond-order build re-filters
+        candidates at the exact ``rcut_bond`` every call, so reusing the
+        padded list is bit-identical to rebuilding it each step.  In legacy
+        stencil mode this falls back to the pre-overhaul behavior (a fresh
+        exact-cutoff list every force call) so benchmarks compare honestly.
+        """
+        lmp = self.lmp
+        atom = lmp.atom
+        nall = atom.nall
+        x = atom.x[:nall]
+        if stencil_mode() != SHARED:
+            return build_neighbor_list(x, nall, self.params.rcut_bond, style="full")
+        if self._bond_nlist is None or self._bond_nlist_key is not lmp.neigh_list:
+            self._bond_nlist = build_neighbor_list(
+                x,
+                nall,
+                self.params.rcut_bond + lmp.neighbor.skin,
+                style="full",
+                grid=lmp.bin_grid,
+            )
+            self._bond_nlist_key = lmp.neigh_list
+        return self._bond_nlist
+
+    def bonds_for_analysis(self):
+        """The current configuration's bond-order table (species analysis).
+
+        Returns the table the force pipeline just built when one exists for
+        this exact configuration; otherwise builds one through the shared
+        bond-search list — never a second full build for the same step.
+        """
+        lmp = self.lmp
+        key = (lmp.update.ntimestep, lmp.neigh_list)
+        if self._last_bonds is None or self._last_bonds_key != key:
+            atom = lmp.atom
+            nall = atom.nall
+            x = atom.x[:nall]
+            species = self.type_map[atom.type[:nall]]
+            self._last_bonds = build_bond_list(
+                x, species, self.bond_neighbor_list(), self.params
+            )
+            self._last_bonds_key = key
+        return self._last_bonds
+
     # --------------------------------------------------------------- compute
     def compute_gen(self, eflag: bool = True, vflag: bool = True) -> Iterator[None]:
         lmp = self.lmp
@@ -113,9 +173,12 @@ class PairReaxFF(Pair):
 
         # 1) bond-search list over ALL atoms: ghosts need their own bond rows
         # so torsion chains crossing the boundary see the far-side legs.
-        bond_nlist = build_neighbor_list(x, nall, params.rcut_bond, style="full")
+        # Skin-amortized: rebuilt only when the engine's rebuild policy fires.
+        bond_nlist = self.bond_neighbor_list()
         # 2) bond-order table (count -> scan -> fill pipeline)
         bonds = build_bond_list(x, species, bond_nlist, params)
+        self._last_bonds = bonds
+        self._last_bonds_key = (lmp.update.ntimestep, lmp.neigh_list)
         stats["bond_candidates"] = bonds.candidates
         stats["nbonds"] = bonds.nbonds
 

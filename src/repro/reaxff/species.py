@@ -108,14 +108,11 @@ def analyze_lammps(lmp, bo_threshold: float = 0.15) -> SpeciesReport:
     pair = lmp.pair
     if not hasattr(pair, "type_map") or pair.type_map is None:
         raise LammpsError("species analysis requires an active reaxff pair style")
-    from repro.core.neighbor import build_neighbor_list
-    from repro.reaxff.bond_order import build_bond_list
-
     atom = lmp.atom
-    x = atom.x[: atom.nall]
     species = pair.type_map[atom.type[: atom.nall]]
-    nlist = build_neighbor_list(x, atom.nall, pair.params.rcut_bond, style="full")
-    bonds = build_bond_list(x, species, nlist, pair.params)
+    # the force pipeline's bond table for this configuration is reused
+    # outright; no second bond-search list is ever built for one step
+    bonds = pair.bonds_for_analysis()
     return analyze_species(
         bonds,
         species,

@@ -92,6 +92,16 @@ class TestBenchEntry:
         assert main(["--bench", "hotpath", "--quiet"]) == 0
         assert calls == [{"quiet": True}]
 
+    def test_main_dispatches_to_neighbor_bench(self, monkeypatch):
+        import repro.bench.neighbor as nb
+
+        calls = []
+        monkeypatch.setattr(
+            nb, "run_neighbor_bench", lambda **kw: calls.append(kw) or {}
+        )
+        assert main(["--bench", "neighbor", "--quiet"]) == 0
+        assert calls == [{"quiet": True}]
+
     def test_hotpath_bench_writes_json(self, tmp_path):
         import json
 
