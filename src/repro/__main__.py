@@ -8,11 +8,14 @@ Mirrors the LAMMPS binary's common flags::
     python -m repro -in melt.in -np 4                # 4 simulated MPI ranks
     python -m repro -in melt.in -var cells 6 -var temp 1.2
     python -m repro --bench hotpath                  # refresh BENCH_hotpath.json
+    python -m repro -in melt.in --tools space-time-stack,chrome-trace --tool-out out/
 
 ``-var`` values are injected as equal-style variables (usable as ``${name}``
 in the script), ``-k on [gpu <name>]`` selects the simulated device, ``-sf``
-sets the global accelerator suffix, and ``-np`` runs the script across
-simulated MPI ranks in lockstep.
+sets the global accelerator suffix, ``-np`` runs the script across simulated
+MPI ranks in lockstep, and ``--tools`` attaches KokkosP-style observability
+tools (:mod:`repro.tools`) for the duration of the run.  ``--bench`` choices
+come from the bench registry (:mod:`repro.bench.registry`).
 """
 
 from __future__ import annotations
@@ -24,7 +27,10 @@ import repro.kspace  # noqa: F401  (register all packages' styles)
 import repro.potentials  # noqa: F401
 import repro.reaxff  # noqa: F401
 import repro.snap  # noqa: F401
+from repro.bench import bench_names, run_bench
 from repro.core import Ensemble, Lammps
+from repro.tools import create_tools, tool_names
+from repro.tools import registry as kp
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -35,9 +41,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("-in", "--input", dest="script",
                    help="input script file")
-    p.add_argument("--bench", choices=["hotpath", "neighbor"], default=None,
+    p.add_argument("--bench", choices=bench_names(), default=None,
                    help="run a wall-clock benchmark instead of a script "
                    "(writes BENCH_<name>.json in the working directory)")
+    p.add_argument("--tools", default=None, metavar="NAME[,NAME...]",
+                   help="attach observability tools for the run: "
+                   + ", ".join(tool_names()))
+    p.add_argument("--tool-out", default=".", metavar="DIR",
+                   help="directory for tool output files (default: cwd)")
     p.add_argument("-k", "--kokkos", nargs="*", default=None, metavar="ARG",
                    help="'on [gpu <name>]' enables the simulated device "
                    "(default H100); 'off' forces a pure-host build")
@@ -68,32 +79,39 @@ def resolve_device(kokkos_args: list[str] | None) -> str | None:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.bench == "hotpath":
-        from repro.bench.hotpath import run_hotpath_bench
-
-        run_hotpath_bench(quiet=args.quiet)
-        return 0
-    if args.bench == "neighbor":
-        from repro.bench.neighbor import run_neighbor_bench
-
-        run_neighbor_bench(quiet=args.quiet)
+    if args.bench is not None:
+        run_bench(args.bench, quiet=args.quiet)
         return 0
     if args.script is None:
         parser.error("an input script (-in FILE) or --bench is required")
     device = resolve_device(args.kokkos)
 
-    if args.nranks > 1:
-        target = Ensemble(
-            args.nranks, device=device, suffix=args.suffix, quiet=args.quiet
-        )
-    else:
-        target = Lammps(device=device, suffix=args.suffix, quiet=args.quiet)
+    tools = []
+    if args.tools:
+        try:
+            tools = create_tools(args.tools, args.tool_out)
+        except ValueError as err:
+            parser.error(str(err))
+        for tool in tools:
+            kp.attach(tool)
 
-    for name, value in args.var:
-        target.commands_string(f"variable {name} equal {value}")
+    try:
+        if args.nranks > 1:
+            target = Ensemble(
+                args.nranks, device=device, suffix=args.suffix, quiet=args.quiet
+            )
+        else:
+            target = Lammps(device=device, suffix=args.suffix, quiet=args.quiet)
 
-    with open(args.script) as fh:
-        target.commands_string(fh.read())
+        for name, value in args.var:
+            target.commands_string(f"variable {name} equal {value}")
+
+        with open(args.script) as fh:
+            target.commands_string(fh.read())
+    finally:
+        if tools:
+            for report in kp.finalize_all():
+                print(report)
     return 0
 
 

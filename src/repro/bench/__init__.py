@@ -9,6 +9,7 @@ atom, QEq iterations, quad sparsity) therefore come from real runs, not
 hand-waving; only the silicon is analytic.
 """
 
+from repro.bench.registry import bench_names, register_bench, run_bench
 from repro.bench.runner import (
     LJBenchmark,
     ReaxFFBenchmark,
@@ -33,6 +34,9 @@ from repro.bench.neighbor import (
 from repro.bench.reporting import format_table, format_series
 
 __all__ = [
+    "bench_names",
+    "register_bench",
+    "run_bench",
     "ReferenceRun",
     "LJBenchmark",
     "ReaxFFBenchmark",

@@ -30,6 +30,7 @@ import numpy as np
 
 import repro.potentials  # noqa: F401  (register pair styles)
 import repro.snap  # noqa: F401
+from repro.bench.registry import register_bench
 from repro.core import Lammps
 from repro.kokkos.segment import ATOMIC, SEGMENTED, force_scatter_mode
 from repro.workloads.melt import setup_melt
@@ -155,6 +156,7 @@ def _finish(row: dict) -> None:
         row["scatter_speedup"] = sc[ATOMIC] / sc[SEGMENTED]
 
 
+@register_bench("hotpath")
 def run_hotpath_bench(
     *,
     melt_repeats: int = 10,

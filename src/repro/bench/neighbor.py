@@ -29,6 +29,7 @@ import time
 import repro.potentials  # noqa: F401  (register pair styles)
 import repro.reaxff  # noqa: F401
 import repro.snap  # noqa: F401
+from repro.bench.registry import register_bench
 from repro.core import Lammps
 from repro.core.bin_grid import BinGrid
 from repro.core.neighbor import (
@@ -210,6 +211,7 @@ def validate_neighbor_bench(results: dict) -> None:
         raise ValueError("hns row missing 'grid_builds_per_rebuild'")
 
 
+@register_bench("neighbor")
 def run_neighbor_bench(
     *,
     melt_repeats: int = 5,

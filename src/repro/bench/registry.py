@@ -1,0 +1,45 @@
+"""Named benchmark registry backing ``python -m repro --bench <name>``.
+
+Bench modules register their entry point with :func:`register_bench`; the
+CLI derives its ``--bench`` choices from :func:`bench_names` instead of a
+hardcoded list, so adding a benchmark is one decorator — no CLI edit.
+Importing :mod:`repro.bench` pulls in every bench module, which is what
+populates the registry.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+_BENCHES: dict[str, Callable] = {}
+
+
+def register_bench(name: str) -> Callable[[Callable], Callable]:
+    """Class/function decorator: expose ``fn`` as ``--bench <name>``.
+
+    The entry point must accept ``quiet: bool`` as a keyword.
+    """
+
+    def deco(fn: Callable) -> Callable:
+        if name in _BENCHES:
+            raise ValueError(f"benchmark {name!r} registered twice")
+        _BENCHES[name] = fn
+        return fn
+
+    return deco
+
+
+def bench_names() -> list[str]:
+    """Registered benchmark names, sorted for stable ``--help`` output."""
+    return sorted(_BENCHES)
+
+
+def run_bench(name: str, *, quiet: bool = False):
+    """Dispatch to a registered benchmark entry point."""
+    try:
+        fn = _BENCHES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; registered: {bench_names()}"
+        ) from None
+    return fn(quiet=quiet)

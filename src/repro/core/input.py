@@ -188,6 +188,31 @@ class Input:
     def cmd_echo(self, args: list[str]) -> None:
         pass
 
+    def cmd_tools(self, args: list[str]) -> None:
+        """``tools <name[,name...]> [out <dir>]`` attaches observability
+        tools (:mod:`repro.tools`); ``tools off`` finalizes and detaches,
+        printing their reports.  The tool chain is process-global, so in
+        multi-rank runs only the root rank acts on the command."""
+        self._need(args, 1, "tools <name[,name...]> [out <dir>] | tools off")
+        if self.lmp.comm_rank != 0:
+            return
+        from repro.tools import create_tools
+        from repro.tools import registry as kp
+
+        if args[0] == "off":
+            for report in kp.finalize_all():
+                print(report)
+            return
+        outdir = "."
+        if len(args) >= 3 and args[1] == "out":
+            outdir = args[2]
+        try:
+            tools = create_tools(args[0], outdir)
+        except ValueError as err:
+            raise InputError(str(err)) from None
+        for tool in tools:
+            kp.attach(tool)
+
     # ---------------------------------------------------------- geometry
     def cmd_lattice(self, args: list[str]) -> None:
         self._need(args, 2, "lattice <style> <scale>")

@@ -11,6 +11,12 @@ LAMMPS's:
 4. reverse communication of ghost forces when Newton's third law is on;
 5. ``final_integrate`` fixes (second half-kick), ``end_of_step`` fixes;
 6. thermo output on its interval.
+
+Each stage runs under the matching :class:`repro.core.timer.PhaseTimer`
+category (Pair/Kspace/Neigh/Comm/Modify/Output), which both feeds the
+thermo timing breakdown and opens an observability region on the rank's
+track.  Categories are strictly sequential — never nested inside one
+another — so the breakdown and the space-time-stack agree exactly.
 """
 
 from __future__ import annotations
@@ -18,6 +24,7 @@ from __future__ import annotations
 from typing import Iterator
 
 from repro.core.errors import LammpsError
+from repro.tools import registry as kp
 
 
 class Verlet:
@@ -36,34 +43,40 @@ class Verlet:
         yield from lmp.count_atoms_gen()
         yield from lmp.rebuild_gen()
         yield from self.force_cycle()
-        yield from lmp.thermo.output_gen(force=True)
-        lmp.write_dumps(force=True)
+        with lmp.timer.phase("Output"):
+            yield from lmp.thermo.output_gen(force=True)
+            lmp.write_dumps(force=True)
 
     # -------------------------------------------------------------- force
     def force_cycle(self) -> Iterator[None]:
         lmp = self.lmp
-        lmp.atom.zero_forces()
-        lmp.mark_host_writes("f")
-        if hasattr(lmp.pair, "compute_gen"):
-            # Styles with mid-compute communication (EAM's fp exchange,
-            # ReaxFF's QEq) run as generators.
-            yield from lmp.pair.compute_gen(eflag=True, vflag=True)
-        else:
-            lmp.pair.compute(eflag=True, vflag=True)
+        with lmp.timer.phase("Pair"):
+            lmp.atom.zero_forces()
+            lmp.mark_host_writes("f")
+            if hasattr(lmp.pair, "compute_gen"):
+                # Styles with mid-compute communication (EAM's fp exchange,
+                # ReaxFF's QEq) run as generators.  Their embedded comm is
+                # credited to Pair, as LAMMPS does for in-style exchanges.
+                yield from lmp.pair.compute_gen(eflag=True, vflag=True)
+            else:
+                lmp.pair.compute(eflag=True, vflag=True)
         yield from self._force_epilogue()
 
     def _force_epilogue(self) -> Iterator[None]:
         lmp = self.lmp
         if lmp.kspace is not None:
             # reciprocal-space contribution (KSPACE package)
-            yield from lmp.kspace.compute_gen(eflag=True, vflag=True)
-        lmp.sync_host_fields("f")
-        # LAMMPS order: ghost forces return to their owners *before*
-        # post-force fixes run, so fixes see complete forces.
-        if lmp.pair.needs_reverse_comm:
-            yield from lmp.comm_brick.reverse_comm(lmp.atom, "f")
-        lmp.modify.post_force()
-        lmp.mark_host_writes("f")
+            with lmp.timer.phase("Kspace"):
+                yield from lmp.kspace.compute_gen(eflag=True, vflag=True)
+        with lmp.timer.phase("Comm"):
+            lmp.sync_host_fields("f")
+            # LAMMPS order: ghost forces return to their owners *before*
+            # post-force fixes run, so fixes see complete forces.
+            if lmp.pair.needs_reverse_comm:
+                yield from lmp.comm_brick.reverse_comm(lmp.atom, "f")
+        with lmp.timer.phase("Modify"):
+            lmp.modify.post_force()
+            lmp.mark_host_writes("f")
 
     # ----------------------------------------------------- overlapped force
     def overlap_active(self) -> bool:
@@ -87,18 +100,25 @@ class Verlet:
         shell and are inherently blocking.
         """
         lmp = self.lmp
-        inflight = lmp.comm_brick.forward_comm_start(lmp.atom)
-        lmp.atom.zero_forces()
-        lmp.mark_host_writes("f")
+        with lmp.timer.phase("Comm"):
+            inflight = lmp.comm_brick.forward_comm_start(lmp.atom)
         if hasattr(lmp.pair, "compute_overlap_gen"):
             # Styles with mid-compute communication drive the in-flight
             # handle themselves (EAM overlaps its interior density loop).
-            yield from lmp.pair.compute_overlap_gen(inflight, eflag=True, vflag=True)
+            with lmp.timer.phase("Pair"):
+                lmp.atom.zero_forces()
+                lmp.mark_host_writes("f")
+                yield from lmp.pair.compute_overlap_gen(inflight, eflag=True, vflag=True)
         else:
-            lmp.pair.compute_phase("interior", eflag=True, vflag=True)
-            yield from inflight.finish()
-            lmp.mark_host_writes("x")
-            lmp.pair.compute_phase("boundary", eflag=True, vflag=True)
+            with lmp.timer.phase("Pair"), kp.region("interior"):
+                lmp.atom.zero_forces()
+                lmp.mark_host_writes("f")
+                lmp.pair.compute_phase("interior", eflag=True, vflag=True)
+            with lmp.timer.phase("Comm"):
+                yield from inflight.finish()
+                lmp.mark_host_writes("x")
+            with lmp.timer.phase("Pair"), kp.region("boundary"):
+                lmp.pair.compute_phase("boundary", eflag=True, vflag=True)
         lmp.overlap_steps += 1
         yield from self._force_epilogue()
 
@@ -110,8 +130,9 @@ class Verlet:
         yield from self.setup_gen()
         for _ in range(nsteps):
             lmp.update.ntimestep += 1
-            lmp.modify.initial_integrate()
-            lmp.mark_host_writes("x", "v")
+            with lmp.timer.phase("Modify"):
+                lmp.modify.initial_integrate()
+                lmp.mark_host_writes("x", "v")
             # The rebuild decision is collective (LAMMPS allreduces the
             # check-distance flag): every rank must take the same branch or
             # the communication phases misalign.
@@ -119,19 +140,24 @@ class Verlet:
                 lmp.update.ntimestep, lmp.atom.x[: lmp.atom.nlocal]
             )
             key = ("rebuild", lmp.update.ntimestep)
-            lmp.world.reduce_contribute(key, float(local_flag))
-            yield
-            if lmp.world.reduce_result(key) > 0.0:
+            with lmp.timer.phase("Comm"):
+                lmp.world.reduce_contribute(key, float(local_flag))
+                yield
+                rebuild = lmp.world.reduce_result(key) > 0.0
+            if rebuild:
                 yield from lmp.rebuild_gen()
                 lmp.mark_host_writes("x")
                 yield from self.force_cycle()
             elif self.overlap_active():
                 yield from self.force_cycle_overlap()
             else:
-                yield from lmp.comm_brick.forward_comm(lmp.atom)
-                lmp.mark_host_writes("x")
+                with lmp.timer.phase("Comm"):
+                    yield from lmp.comm_brick.forward_comm(lmp.atom)
+                    lmp.mark_host_writes("x")
                 yield from self.force_cycle()
-            lmp.modify.final_integrate()
-            lmp.modify.end_of_step()
-            yield from lmp.thermo.output_gen()
-            lmp.write_dumps()
+            with lmp.timer.phase("Modify"):
+                lmp.modify.final_integrate()
+                lmp.modify.end_of_step()
+            with lmp.timer.phase("Output"):
+                yield from lmp.thermo.output_gen()
+                lmp.write_dumps()

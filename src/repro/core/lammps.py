@@ -35,12 +35,14 @@ from repro.core.neighbor import (
 )
 from repro.core.styles import resolve_style
 from repro.core.thermo import Thermo
+from repro.core.timer import CATEGORIES, PhaseTimer
 from repro.core.update import Update
 from repro.core.velocity import maxwell_table
 from repro.core.comm_md import CommBrick
 from repro.parallel.comm import SimComm, SimWorld
 from repro.parallel.decomp import BrickDecomposition
 from repro.parallel.driver import drain, lockstep
+from repro.tools import registry as kp
 import repro.kokkos as kk
 
 
@@ -83,6 +85,9 @@ class Lammps:
         self.kspace = None
         self.modify = Modify()
         self.thermo = Thermo(self, quiet=quiet)
+        #: Per-category modeled-time breakdown (the thermo "MPI task timing
+        #: breakdown"); also opens observability regions per phase.
+        self.timer = PhaseTimer(self.world)
         self.verlet = Verlet(self)
         self.lattice: Lattice | None = None
         self.regions: dict[str, BlockRegion] = {}
@@ -351,60 +356,65 @@ class Lammps:
         if self.comm_brick is None or self.comm_brick.cutghost != cutghost:
             assert self.decomp is not None
             self.comm_brick = CommBrick(self.comm, self.decomp, cutghost)
-        yield from self.comm_brick.exchange(atom, self.domain.wrap)
-        sorted_atoms = self._maybe_sort_atoms(cutghost)
-        yield from self.comm_brick.borders(atom, self.domain.periodic)
-        # One bin grid per rebuild, at the largest requested cutoff: the
-        # pair list below and any multi-cutoff consumer this step (ReaxFF
-        # bond list, species analysis) share it instead of re-binning.
-        if stencil_mode() == SHARED:
-            # half-cutoff bins (LAMMPS's choice): shorter-cutoff consumers
-            # get proportionally tighter stencils from the same grid
-            self.bin_grid = BinGrid(
-                atom.x[: atom.nall], atom.nlocal, 0.5 * cutghost
-            )
-        else:
-            self.bin_grid = None
-        style, newton = self.pair.neighbor_request()
-        self.neigh_list = build_neighbor_list(
-            atom.x[: atom.nall],
-            atom.nlocal,
-            cutghost,  # force cutoff + skin, LAMMPS's Verlet-list radius
-            style=style,
-            newton=newton,
-            grid=self.bin_grid,
-        )
-        self.neighbor.record_build(self.update.ntimestep, atom.x[: atom.nlocal])
-        if self._kokkos_active():
-            # A GPU-resident run builds the bin/neighbor structures on the
-            # device; charge each stage so strong-scaling tails see it.
-            import repro.kokkos as kk
-            from repro.hardware.cost import neighbor_build_profiles
-
-            for profile in neighbor_build_profiles(
-                pairs=self.neigh_list.total_pairs,
-                nall=atom.nall,
-                nlocal=atom.nlocal,
-                binned=self.bin_grid is not None or stencil_mode() != SHARED,
-                sorted_atoms=sorted_atoms,
-            ):
-                kk.parallel_for(
-                    profile.name,
-                    kk.RangePolicy(
-                        self.pair.execution_space,
-                        0,
-                        int(profile.parallel_items),
-                    ),
-                    lambda idx: None,
-                    profile=profile,
+        with self.timer.phase("Comm"):
+            yield from self.comm_brick.exchange(atom, self.domain.wrap)
+        with self.timer.phase("Neigh"):
+            sorted_atoms = self._maybe_sort_atoms(cutghost)
+        with self.timer.phase("Comm"):
+            yield from self.comm_brick.borders(atom, self.domain.periodic)
+        with self.timer.phase("Neigh"):
+            # One bin grid per rebuild, at the largest requested cutoff: the
+            # pair list below and any multi-cutoff consumer this step (ReaxFF
+            # bond list, species analysis) share it instead of re-binning.
+            if stencil_mode() == SHARED:
+                # half-cutoff bins (LAMMPS's choice): shorter-cutoff consumers
+                # get proportionally tighter stencils from the same grid
+                self.bin_grid = BinGrid(
+                    atom.x[: atom.nall], atom.nlocal, 0.5 * cutghost
                 )
+            else:
+                self.bin_grid = None
+            style, newton = self.pair.neighbor_request()
+            self.neigh_list = build_neighbor_list(
+                atom.x[: atom.nall],
+                atom.nlocal,
+                cutghost,  # force cutoff + skin, LAMMPS's Verlet-list radius
+                style=style,
+                newton=newton,
+                grid=self.bin_grid,
+            )
+            self.neighbor.record_build(self.update.ntimestep, atom.x[: atom.nlocal])
+            if self._kokkos_active():
+                # A GPU-resident run builds the bin/neighbor structures on the
+                # device; charge each stage so strong-scaling tails see it.
+                import repro.kokkos as kk
+                from repro.hardware.cost import neighbor_build_profiles
+
+                for profile in neighbor_build_profiles(
+                    pairs=self.neigh_list.total_pairs,
+                    nall=atom.nall,
+                    nlocal=atom.nlocal,
+                    binned=self.bin_grid is not None or stencil_mode() != SHARED,
+                    sorted_atoms=sorted_atoms,
+                ):
+                    kk.parallel_for(
+                        profile.name,
+                        kk.RangePolicy(
+                            self.pair.execution_space,
+                            0,
+                            int(profile.parallel_items),
+                        ),
+                        lambda idx: None,
+                        profile=profile,
+                    )
 
     def count_atoms_gen(self) -> Iterator[None]:
         atom = self.require_box()
         key = ("natoms", self.update.ntimestep, id(self.world))
-        self.world.reduce_contribute(key, float(atom.nlocal))
-        yield
-        self.natoms_total = int(round(self.world.reduce_result(key)))
+        with self.timer.phase("Comm"):
+            self.world.reduce_contribute(key, float(atom.nlocal))
+            yield
+            self.natoms_total = int(round(self.world.reduce_result(key)))
 
     # ----------------------------------------------------------------- run
     def run(self, nsteps: int) -> None:
@@ -418,6 +428,7 @@ class Lammps:
         comm0 = self.world.ledger.total()
         wall0 = time.perf_counter()
         self.overlap_steps = 0
+        self.timer.reset()
         drain(self.verlet.run_gen(nsteps))
         self.world.assert_drained()
         self.last_run_stats = {
@@ -431,6 +442,7 @@ class Lammps:
                 self.neigh_list.mean_neighbors if self.neigh_list else 0.0
             ),
             "max_neighs": self.neigh_list.maxneigh if self.neigh_list else 0,
+            "breakdown": dict(self.timer.timers),
         }
         if not self.thermo.quiet and nsteps > 0:
             self._print_run_summary()
@@ -451,6 +463,15 @@ class Lammps:
             )
         if s["modeled_comm"] > 0:
             print(f"Modeled communication time: {s['modeled_comm']:.4g} s")
+        breakdown = s.get("breakdown", {})
+        total = sum(breakdown.values())
+        if total > 0:
+            # the LAMMPS "MPI task timing breakdown", in modeled seconds
+            print("Timing breakdown (modeled):")
+            for cat in CATEGORIES:
+                seconds = breakdown.get(cat, 0.0)
+                if seconds > 0:
+                    print(f"  {cat:<7s} {seconds:>12.6g} s ({100 * seconds / total:5.1f}%)")
         if self.neigh_list is not None:
             # LAMMPS's post-loop neighbor line; max_neighs is the padded-row
             # width a fixed-capacity engine must not overflow
@@ -506,7 +527,11 @@ class Ensemble:
             self.minimize(float(tokens[1]), float(tokens[2]), int(tokens[3]))
             return
         for lmp in self.ranks:
+            if kp.TOOLS:
+                kp.set_rank(lmp.comm_rank)
             lmp.command(line)
+        if kp.TOOLS:
+            kp.set_rank(0)
         self._resolve_collectives()
 
     def commands_string(self, text: str) -> None:
@@ -522,12 +547,16 @@ class Ensemble:
     def run(self, nsteps: int) -> None:
         for lmp in self.ranks:
             lmp.overlap_steps = 0
+            lmp.timer.reset()
         lockstep([lmp.verlet.run_gen(nsteps) for lmp in self.ranks])
         self.world.assert_drained()
         for lmp in self.ranks:
+            # Per-rank breakdowns are approximate under lockstep (ranks
+            # share the modeled clocks and interleave mid-phase).
             lmp.last_run_stats = {
                 "steps": nsteps,
                 "overlap_steps": lmp.overlap_steps,
+                "breakdown": dict(lmp.timer.timers),
             }
 
     def minimize(self, etol: float, ftol: float, maxiter: int) -> "object":

@@ -334,12 +334,16 @@ class DeviceTimeline:
 
     entries: dict[str, float] = field(default_factory=dict)
     counts: dict[str, int] = field(default_factory=dict)
+    #: Running total, maintained incrementally so phase timers can snapshot
+    #: the clock in O(1) instead of summing the ledger per region boundary.
+    cum_seconds: float = 0.0
 
     def record(self, name: str, seconds: float) -> None:
         if seconds < 0.0:
             raise ValueError(f"negative kernel time for {name!r}: {seconds}")
         self.entries[name] = self.entries.get(name, 0.0) + seconds
         self.counts[name] = self.counts.get(name, 0) + 1
+        self.cum_seconds += seconds
 
     def total(self) -> float:
         return math.fsum(self.entries.values())
@@ -350,6 +354,7 @@ class DeviceTimeline:
     def reset(self) -> None:
         self.entries.clear()
         self.counts.clear()
+        self.cum_seconds = 0.0
 
     def breakdown(self) -> list[tuple[str, float, int]]:
         """Per-kernel ``(name, seconds, launches)`` sorted by cost."""

@@ -127,4 +127,11 @@ def on_device(device: str | GPUSpec | None, carveout: float | None = None):
 
 
 def fence(label: str = "") -> None:
-    """No-op: the simulated dispatch is synchronous.  Kept for API parity."""
+    """Synchronization point.  The simulated dispatch is synchronous, so a
+    fence costs nothing — but it still fires the KokkosP ``begin/end_fence``
+    callbacks so attached tools (trace, logger) see where the engine
+    synchronizes, exactly as the real Kokkos Tools interface does."""
+    from repro.tools import registry as kp
+
+    if kp.TOOLS:
+        kp.fence(label)

@@ -23,6 +23,19 @@ import numpy as np
 
 from repro.kokkos.core import Device, ExecutionSpace, Host, device_context
 from repro.kokkos.view import View
+from repro.tools import registry as kp
+
+
+class DualViewModifyError(RuntimeError):
+    """The modify-both-spaces hazard: both sides written with no sync between.
+
+    ``modify_host()`` followed by ``modify_device()`` (or vice versa)
+    without an intervening ``sync`` means each side holds updates the other
+    lacks; whichever direction syncs next would silently clobber one side.
+    Real Kokkos debug builds abort here ("Concurrent modification of host
+    and device views"); we raise with the view named so the offending style
+    is identifiable.
+    """
 
 
 class DualView:
@@ -63,12 +76,23 @@ class DualView:
 
     # ----------------------------------------------------- modify protocol
     def modify(self, space: ExecutionSpace) -> None:
-        """Declare that ``space``'s copy has been written."""
+        """Declare that ``space``'s copy has been written.
+
+        Raises :class:`DualViewModifyError` on the modify-both-spaces
+        hazard: writing ``space`` while the other side already holds newer,
+        unsynced data would leave updates on both sides with no correct
+        sync direction.
+        """
         other = Device if space is Host else Host
         if self._modified[other] > self._modified[space]:
-            raise RuntimeError(
-                f"DualView {self.label!r}: modifying {space.name} while "
-                f"{other.name} holds newer data; sync first"
+            raise DualViewModifyError(
+                f"DualView {self.label or 'unnamed'!r}: modify_"
+                f"{space.name.lower()}() while {other.name} holds newer "
+                f"unsynced data (modify_{other.name.lower()}() was never "
+                f"followed by a sync) — both sides would hold updates the "
+                f"other lacks, and the next sync would silently clobber one "
+                f"of them; sync first (sync_{space.name.lower()}()) before "
+                f"writing the {space.name} side"
             )
         self._modified[space] = self._modified[other] + 1
 
@@ -103,10 +127,19 @@ class DualView:
             dst, src = self.view(space), self.view(other)
             dst.data[...] = src.data
             ctx = device_context()
+            seconds = ctx.transfer_time(dst.nbytes)
             ctx.timeline.record(
-                f"dualview_sync::{self.label or 'unnamed'}",
-                ctx.transfer_time(dst.nbytes),
+                f"dualview_sync::{self.label or 'unnamed'}", seconds
             )
+            if kp.TOOLS:
+                kp.deep_copy(
+                    space.name,
+                    dst.label,
+                    other.name,
+                    src.label,
+                    dst.nbytes,
+                    seconds,
+                )
         self._modified[space] = self._modified[other]
         return True
 

@@ -25,11 +25,15 @@ import numpy as np
 from repro.hardware.cost import KernelProfile
 from repro.kokkos.core import Device, device_context
 from repro.kokkos.policies import MDRangePolicy, RangePolicy, TeamPolicy
+from repro.tools import registry as kp
 
 Policy = RangePolicy | MDRangePolicy | TeamPolicy
 
 
-def _charge(name: str, policy: Policy, profile: KernelProfile | None) -> None:
+def _charge(
+    name: str, policy: Policy, profile: KernelProfile | None
+) -> tuple[float, KernelProfile]:
+    """Charge the dispatch to the timeline; returns (seconds, profile)."""
     ctx = device_context()
     if profile is None:
         profile = KernelProfile(name=name)
@@ -49,6 +53,7 @@ def _charge(name: str, policy: Policy, profile: KernelProfile | None) -> None:
     ctx.timeline.record(name, seconds)
     if ctx.profile_log is not None:
         ctx.profile_log.append(profile)
+    return seconds, profile
 
 
 def _run(policy: Policy, functor: Callable) -> Any:
@@ -70,8 +75,11 @@ def parallel_for(
     profile: KernelProfile | None = None,
 ) -> None:
     """Execute ``functor`` over the policy's iteration space for effect."""
+    kid = kp.begin_kernel("parallel_for", name, policy.space.name) if kp.TOOLS else None
     _run(policy, functor)
-    _charge(name, policy, profile)
+    seconds, resolved = _charge(name, policy, profile)
+    if kid is not None:
+        kp.end_kernel(kid, resolved, seconds)
 
 
 def parallel_reduce(
@@ -89,13 +97,20 @@ def parallel_reduce(
     per-tile results are reduced together; Team functors reduce internally
     and return the value.
     """
+    kid = (
+        kp.begin_kernel("parallel_reduce", name, policy.space.name)
+        if kp.TOOLS
+        else None
+    )
     raw = _run(policy, functor)
     if isinstance(policy, MDRangePolicy):
         parts = [reducer(np.asarray(r)) for r in raw if r is not None]
         result = reducer(np.asarray(parts)) if parts else reducer(np.zeros(1))
     else:
         result = reducer(np.asarray(raw)) if not np.isscalar(raw) else raw
-    _charge(name, policy, profile)
+    seconds, resolved = _charge(name, policy, profile)
+    if kid is not None:
+        kp.end_kernel(kid, resolved, seconds)
     return result
 
 
@@ -115,6 +130,11 @@ def parallel_scan(
     """
     if not isinstance(policy, RangePolicy):
         raise TypeError("parallel_scan requires a RangePolicy")
+    kid = (
+        kp.begin_kernel("parallel_scan", name, policy.space.name)
+        if kp.TOOLS
+        else None
+    )
     values = np.asarray(functor(policy.indices()))
     if values.shape[0] != policy.size:
         raise ValueError(
@@ -129,5 +149,7 @@ def parallel_scan(
         scan[1:] = inclusive[:-1]
     else:
         scan = inclusive
-    _charge(name, policy, profile)
+    seconds, resolved = _charge(name, policy, profile)
+    if kid is not None:
+        kp.end_kernel(kid, resolved, seconds)
     return scan, total

@@ -26,6 +26,7 @@ from repro.kokkos.segment import ATOMIC as CONTRIB_ATOMIC
 from repro.kokkos.segment import SEGMENTED as CONTRIB_SEGMENTED
 from repro.kokkos.segment import forced_scatter_mode, scatter_add
 from repro.kokkos.view import View
+from repro.tools import registry as kp
 
 #: Deconfliction strategies.
 ATOMIC = "atomic"
@@ -105,7 +106,14 @@ class ScatterView:
         """Zero the scratch copies (target itself is left alone)."""
         shape = (self.duplicates,) + self.target.shape
         if self._scratch is None or self._scratch.shape != shape:
+            track = bool(kp.TOOLS)
+            label = (self.target.label or "unnamed") + "_scatter"
+            space = self.target.space.name
+            if track and self._scratch is not None:
+                kp.deallocate_data(space, label, self._scratch.nbytes)
             self._scratch = np.zeros(shape, dtype=self.target.dtype)
+            if track:
+                kp.allocate_data(space, label, self._scratch.nbytes)
         else:
             self._scratch[...] = 0.0
         self._atomic_adds = 0

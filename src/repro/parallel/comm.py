@@ -16,6 +16,7 @@ from typing import Any, Callable, Sequence
 import numpy as np
 
 from repro.hardware.network import NETWORKS, NetworkSpec
+from repro.tools import registry as kp
 
 #: Intra-node (NVLink / xGMI / Xe-Link class) message parameters.
 INTRANODE_LATENCY_US = 1.0
@@ -37,11 +38,20 @@ class CommLedger:
     entries: dict[str, float] = field(default_factory=dict)
     messages: int = 0
     bytes_moved: int = 0
+    #: Running total (O(1) snapshots for the phase timers, like
+    #: :class:`~repro.hardware.cost.DeviceTimeline`).
+    cum_seconds: float = 0.0
 
     def record(self, category: str, seconds: float, nbytes: int = 0) -> None:
         self.entries[category] = self.entries.get(category, 0.0) + seconds
         self.messages += 1
         self.bytes_moved += nbytes
+        self.cum_seconds += seconds
+        if kp.TOOLS:
+            # one charged instant per modeled message/collective: the
+            # KokkosP analogue of an MPI profiling hook, attributed to the
+            # emitting rank's track and simulated clock
+            kp.profile_event(f"comm:{category}", sim_seconds=seconds, bytes=nbytes)
 
     def total(self) -> float:
         return sum(self.entries.values())
@@ -50,6 +60,7 @@ class CommLedger:
         self.entries.clear()
         self.messages = 0
         self.bytes_moved = 0
+        self.cum_seconds = 0.0
 
 
 class SimWorld:

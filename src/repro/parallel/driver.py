@@ -4,28 +4,50 @@ Engine communication routines are generators yielding at would-be blocking
 receives.  :func:`lockstep` advances every rank's generator to its next
 yield before letting any rank resume — the discrete-event equivalent of MPI
 progress.  A rank that finishes early simply drops out of the rotation.
+
+With observability tools attached, the driver also scopes each generator
+advance to its rank (``registry.set_rank``), so every event a rank emits —
+kernels, copies, comm charges, regions — lands on that rank's track and
+simulated clock.  Without tools the scoping is skipped entirely.
 """
 
 from __future__ import annotations
 
-from typing import Generator, Iterable
+from typing import Generator, Iterable, Sequence
+
+from repro.tools import registry as kp
 
 
-def lockstep(generators: Iterable[Generator]) -> None:
-    """Run generators round-robin, one yield-step at a time, to exhaustion."""
+def lockstep(
+    generators: Iterable[Generator], ranks: Sequence[int] | None = None
+) -> None:
+    """Run generators round-robin, one yield-step at a time, to exhaustion.
+
+    ``ranks`` labels each generator's simulated rank for the observability
+    layer; by default generator *i* is rank *i* (the Ensemble ordering).
+    """
     live = list(generators)
+    live_ranks = list(ranks) if ranks is not None else list(range(len(live)))
     while live:
-        next_round = []
-        for gen in live:
+        next_round: list[Generator] = []
+        next_ranks: list[int] = []
+        for rank, gen in zip(live_ranks, live):
+            if kp.TOOLS:
+                kp.set_rank(rank)
             try:
                 next(gen)
             except StopIteration:
                 continue
             next_round.append(gen)
-        live = next_round
+            next_ranks.append(rank)
+        live, live_ranks = next_round, next_ranks
+    if kp.TOOLS:
+        kp.set_rank(0)
 
 
-def drain(gen: Generator) -> None:
+def drain(gen: Generator, rank: int = 0) -> None:
     """Run a single generator to completion (the one-rank fast path)."""
+    if kp.TOOLS:
+        kp.set_rank(rank)
     for _ in gen:
         pass

@@ -22,6 +22,7 @@ from repro.core.styles import register_pair
 from repro.kokkos.core import Device, device_context
 from repro.potentials.lj import PairLJCut
 from repro.potentials.pair_kokkos import FLOPS_PER_ATOM, FLOPS_PER_PAIR
+from repro.tools import registry as kp
 
 
 class GPUOffloadMixin:
@@ -49,10 +50,11 @@ class GPUOffloadMixin:
         stored_pairs = nlist.total_pairs if nlist is not None else 0
 
         # host -> device: positions and types of owned + ghost atoms
-        ctx.timeline.record(
-            "gpu_package::h2d_positions",
-            ctx.transfer_time(int(self.H2D_BYTES_PER_ATOM * nall)),
-        )
+        h2d_bytes = int(self.H2D_BYTES_PER_ATOM * nall)
+        h2d_seconds = ctx.transfer_time(h2d_bytes)
+        ctx.timeline.record("gpu_package::h2d_positions", h2d_seconds)
+        if kp.TOOLS:
+            kp.deep_copy("Device", "x", "Host", "x", h2d_bytes, h2d_seconds)
         # the offloaded force kernel (one atom per thread, half list +
         # atomics — the GPU package reused the host's newton setting)
         profile = kk.KernelProfile(
@@ -72,10 +74,11 @@ class GPUOffloadMixin:
             profile=profile,
         )
         # device -> host: forces come back for the host-resident integrator
-        ctx.timeline.record(
-            "gpu_package::d2h_forces",
-            ctx.transfer_time(int(self.D2H_BYTES_PER_ATOM * nall)),
-        )
+        d2h_bytes = int(self.D2H_BYTES_PER_ATOM * nall)
+        d2h_seconds = ctx.transfer_time(d2h_bytes)
+        ctx.timeline.record("gpu_package::d2h_forces", d2h_seconds)
+        if kp.TOOLS:
+            kp.deep_copy("Host", "f", "Device", "f", d2h_bytes, d2h_seconds)
 
 
 @register_pair("lj/cut/gpu")

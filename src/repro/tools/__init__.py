@@ -1,0 +1,84 @@
+"""KokkosP-style observability subsystem.
+
+``repro.tools.registry`` is the callback surface the runtime emits into
+(near-zero cost with nothing attached); this package front door adds the
+built-in tool catalogue and a name -> instance factory used by the CLI
+(``--tools space-time-stack,chrome-trace --tool-out out/``) and the
+``tools`` input-script command.
+
+Built-in tools:
+
+* ``kernel-logger``     — streaming line-per-event log
+* ``space-time-stack``  — hierarchical region/kernel time tree
+* ``memory-events``     — per-memory-space allocation log + high-water mark
+* ``chrome-trace``      — chrome://tracing JSON, one track per rank
+* ``roofline``          — %-of-roof per kernel vs the active machine model
+
+Only :mod:`repro.tools.registry` is imported eagerly here; the tool
+implementations load on first use so instrumented low-level modules
+(``repro.kokkos.*``) can import this package without cycles.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.tools.registry import (  # noqa: F401  (re-exported surface)
+    Tool,
+    ToolChain,
+    attach,
+    attached,
+    detach,
+    finalize_all,
+    profile_event,
+    pop_region,
+    push_region,
+    region,
+    set_rank,
+)
+
+#: name -> (module, class, needs_output_path)
+TOOL_CATALOG: dict[str, tuple[str, str, bool]] = {
+    "kernel-logger": ("repro.tools.kernel_logger", "KernelLogger", True),
+    "space-time-stack": ("repro.tools.space_time_stack", "SpaceTimeStack", False),
+    "memory-events": ("repro.tools.memory_events", "MemoryEvents", True),
+    "chrome-trace": ("repro.tools.chrome_trace", "ChromeTrace", True),
+    "roofline": ("repro.tools.roofline", "Roofline", False),
+}
+
+#: default output filename per tool (within ``--tool-out``)
+_DEFAULT_OUT = {
+    "kernel-logger": "kernel_log.txt",
+    "memory-events": "memory_events.txt",
+    "chrome-trace": "trace.json",
+}
+
+
+def tool_names() -> list[str]:
+    return sorted(TOOL_CATALOG)
+
+
+def create_tool(name: str, outdir: str | None = None) -> Tool:
+    """Instantiate one built-in tool by its CLI name."""
+    key = name.strip().lower().replace("_", "-")
+    if key not in TOOL_CATALOG:
+        raise ValueError(
+            f"unknown tool {name!r}; available: {', '.join(tool_names())}"
+        )
+    module_name, cls_name, takes_out = TOOL_CATALOG[key]
+    import importlib
+
+    cls = getattr(importlib.import_module(module_name), cls_name)
+    if not takes_out:
+        return cls()
+    out = None
+    if key in _DEFAULT_OUT:
+        base = outdir or "."
+        os.makedirs(base, exist_ok=True)
+        out = os.path.join(base, _DEFAULT_OUT[key])
+    return cls(out) if out is not None else cls()
+
+
+def create_tools(spec: str, outdir: str | None = None) -> list[Tool]:
+    """Parse a comma-separated tool list (the ``--tools`` argument)."""
+    return [create_tool(name, outdir) for name in spec.split(",") if name.strip()]

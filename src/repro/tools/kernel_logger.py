@@ -1,0 +1,94 @@
+"""Streaming event log (Kokkos Tools' kernel-logger).
+
+Prints one line per event as it happens, indented by region depth — the
+"what is my run actually dispatching" tool you attach first when a trace
+looks wrong.  Writes to a file when given a path, else to stdout.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import TextIO
+
+from repro.tools.registry import (
+    DeepCopyEvent,
+    FenceEvent,
+    InstantEvent,
+    KernelEvent,
+    MemoryEvent,
+    RegionEvent,
+    Tool,
+)
+
+_KIND_SHORT = {
+    "parallel_for": "for",
+    "parallel_reduce": "reduce",
+    "parallel_scan": "scan",
+}
+
+
+class KernelLogger(Tool):
+    """Line-per-event streaming log."""
+
+    name = "kernel-logger"
+
+    def __init__(self, out: str | TextIO | None = None) -> None:
+        self._own_file = isinstance(out, str)
+        self._fh: TextIO = open(out, "w") if isinstance(out, str) else (out or sys.stdout)
+        self._path = out if isinstance(out, str) else None
+        self._depth: dict[int, int] = {}
+        self.lines = 0
+
+    # ------------------------------------------------------------ plumbing
+    def _write(self, rank: int, text: str) -> None:
+        indent = "  " * self._depth.get(rank, 0)
+        self._fh.write(f"[rank {rank}] {indent}{text}\n")
+        self.lines += 1
+
+    # ------------------------------------------------------------ callbacks
+    def _end_kernel(self, ev: KernelEvent) -> None:
+        self._write(
+            ev.rank,
+            f"{_KIND_SHORT[ev.kind]} {ev.name} [{ev.space}] "
+            f"sim {ev.sim_seconds:.3e} s wall {ev.wall_seconds:.3e} s",
+        )
+
+    end_parallel_for = _end_kernel
+    end_parallel_reduce = _end_kernel
+    end_parallel_scan = _end_kernel
+
+    def end_fence(self, ev: FenceEvent) -> None:
+        self._write(ev.rank, f"fence {ev.name}")
+
+    def end_deep_copy(self, ev: DeepCopyEvent) -> None:
+        self._write(
+            ev.rank,
+            f"deep_copy {ev.src_space}:{ev.src_label} -> "
+            f"{ev.dst_space}:{ev.dst_label} ({ev.nbytes} B, "
+            f"sim {ev.sim_seconds:.3e} s)",
+        )
+
+    def allocate_data(self, ev: MemoryEvent) -> None:
+        self._write(ev.rank, f"alloc {ev.space}:{ev.label} ({ev.nbytes} B)")
+
+    def deallocate_data(self, ev: MemoryEvent) -> None:
+        self._write(ev.rank, f"free {ev.space}:{ev.label} ({ev.nbytes} B)")
+
+    def push_region(self, ev: RegionEvent) -> None:
+        self._write(ev.rank, f"push {ev.name}")
+        self._depth[ev.rank] = self._depth.get(ev.rank, 0) + 1
+
+    def pop_region(self, ev: RegionEvent) -> None:
+        self._depth[ev.rank] = max(self._depth.get(ev.rank, 0) - 1, 0)
+        self._write(ev.rank, f"pop  {ev.name}")
+
+    def profile_event(self, ev: InstantEvent) -> None:
+        extra = f" ({ev.sim_seconds:.3e} s)" if ev.sim_seconds else ""
+        self._write(ev.rank, f"event {ev.name}{extra}")
+
+    def finalize(self) -> str | None:
+        self._fh.flush()
+        if self._own_file:
+            self._fh.close()
+            return f"kernel log: {self._path} ({self.lines} lines)"
+        return None

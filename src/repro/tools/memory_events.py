@@ -1,0 +1,81 @@
+"""Per-memory-space allocation log and high-water marks (MemoryEvents tool).
+
+The Kokkos Tools ``MemoryEvents``/``MemoryUsage`` pair records every
+``allocate_data``/``deallocate_data`` callback with a timestamp and keeps
+the running footprint per memory space.  Same here: each View (and
+ScatterView scratch) allocation lands in an append-only log, and the
+per-space current/high-water counters answer the sizing question the
+paper's table 2 workloads pose (does the problem fit in HBM?).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.tools.registry import MemoryEvent, Tool
+
+
+@dataclass
+class MemRecord:
+    op: str  #: "alloc" | "free"
+    space: str
+    label: str
+    nbytes: int
+    sim_us: float
+    current: int  #: per-space footprint after this event
+
+
+class MemoryEvents(Tool):
+    """Streaming allocation log + per-space high-water mark."""
+
+    name = "memory-events"
+
+    def __init__(self, out: str | None = None) -> None:
+        self.out = out
+        self.log: list[MemRecord] = []
+        self.current: dict[str, int] = {}
+        self.hwm: dict[str, int] = {}
+        self.allocs: dict[str, int] = {}  # space -> allocation count
+
+    # ------------------------------------------------------------ callbacks
+    def allocate_data(self, ev: MemoryEvent) -> None:
+        cur = self.current.get(ev.space, 0) + ev.nbytes
+        self.current[ev.space] = cur
+        self.hwm[ev.space] = max(self.hwm.get(ev.space, 0), cur)
+        self.allocs[ev.space] = self.allocs.get(ev.space, 0) + 1
+        self.log.append(
+            MemRecord("alloc", ev.space, ev.label, ev.nbytes, ev.sim_us, cur)
+        )
+
+    def deallocate_data(self, ev: MemoryEvent) -> None:
+        # a free for an allocation made before the tool attached can push
+        # the counter negative; clamp so the footprint stays meaningful
+        cur = max(self.current.get(ev.space, 0) - ev.nbytes, 0)
+        self.current[ev.space] = cur
+        self.log.append(
+            MemRecord("free", ev.space, ev.label, ev.nbytes, ev.sim_us, cur)
+        )
+
+    # -------------------------------------------------------------- queries
+    def high_water(self, space: str) -> int:
+        return self.hwm.get(space, 0)
+
+    # --------------------------------------------------------------- report
+    def finalize(self) -> str:
+        lines = ["", "=" * 72, "memory events (per memory space)", "=" * 72]
+        for space in sorted(set(self.hwm) | set(self.current)):
+            lines.append(
+                f"  {space:<8} high-water {self.hwm.get(space, 0) / 1e6:10.3f} MB"
+                f"  current {self.current.get(space, 0) / 1e6:10.3f} MB"
+                f"  ({self.allocs.get(space, 0)} allocations)"
+            )
+        if self.out is not None:
+            with open(self.out, "w") as fh:
+                fh.write("# op space label bytes sim_us current_bytes\n")
+                for r in self.log:
+                    fh.write(
+                        f"{r.op} {r.space} {r.label} {r.nbytes} "
+                        f"{r.sim_us:.3f} {r.current}\n"
+                    )
+            lines.append(f"  log: {self.out} ({len(self.log)} events)")
+        return "\n".join(lines)

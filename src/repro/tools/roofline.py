@@ -1,0 +1,118 @@
+"""Roofline report: %-of-roof per kernel against the active machine model.
+
+Every kernel-end event carries the resolved
+:class:`~repro.hardware.cost.KernelProfile` the dispatch layer charged.
+Joining those against the silicon spec backing the kernel's execution
+space gives each kernel's arithmetic intensity and its position under the
+device's roofline — the per-kernel "how far from the hardware limit"
+number the paper's appendix C analysis reads off Nsight Compute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.tools.registry import KernelEvent, Tool
+
+
+@dataclass
+class RooflineRow:
+    name: str
+    space: str
+    launches: int = 0
+    flops: float = 0.0
+    bytes: float = 0.0
+    sim_seconds: float = 0.0
+
+    @property
+    def intensity(self) -> float:
+        """Arithmetic intensity, FLOP per byte of modeled traffic."""
+        return self.flops / self.bytes if self.bytes > 0 else float("inf")
+
+
+@dataclass
+class _Roof:
+    peak_flops: float  #: FP64 op/s
+    peak_bw: float  #: bytes/s
+
+
+class Roofline(Tool):
+    """Aggregates kernel profiles; reports %-of-roof at finalize."""
+
+    name = "roofline"
+
+    def __init__(self, top: int = 20) -> None:
+        self.top = top
+        self.rows: dict[tuple[str, str], RooflineRow] = {}
+
+    # ------------------------------------------------------------ callbacks
+    def _end_kernel(self, ev: KernelEvent) -> None:
+        key = (ev.name, ev.space)
+        row = self.rows.get(key)
+        if row is None:
+            row = self.rows[key] = RooflineRow(name=ev.name, space=ev.space)
+        row.launches += 1
+        row.sim_seconds += ev.sim_seconds
+        p = ev.profile
+        if p is not None:
+            row.flops += getattr(p, "flops", 0.0)
+            row.bytes += (
+                getattr(p, "bytes_streamed", 0.0)
+                + getattr(p, "bytes_reusable", 0.0)
+                + getattr(p, "duplicated_bytes", 0.0)
+            )
+
+    end_parallel_for = _end_kernel
+    end_parallel_reduce = _end_kernel
+    end_parallel_scan = _end_kernel
+
+    # --------------------------------------------------------------- roofs
+    @staticmethod
+    def _roof_for(space: str) -> _Roof:
+        # imported lazily: the registry layer must stay import-cycle-free
+        from repro.hardware.cpu import CPUSpec
+        from repro.kokkos.core import Device, Host, device_context
+
+        spec = device_context().spec_for(Device if space == "Device" else Host)
+        if isinstance(spec, CPUSpec):
+            return _Roof(spec.fp64_tflops * 1e12, spec.mem_bw_tbs * 1e12)
+        return _Roof(spec.fp64_tflops * 1e12, spec.hbm_bw_tbs * 1e12)
+
+    def percent_of_roof(self, row: RooflineRow) -> tuple[float, str]:
+        """``(% of roof, limiter)`` for one aggregated kernel row.
+
+        The ceiling at the kernel's arithmetic intensity is
+        ``min(peak_flops, AI * peak_bw)``; pure-bandwidth kernels (no
+        FLOPs) are scored against the bandwidth roof directly.
+        """
+        roof = self._roof_for(row.space)
+        if row.sim_seconds <= 0.0:
+            return 0.0, "-"
+        if row.flops <= 0.0:
+            achieved = row.bytes / row.sim_seconds
+            return 100.0 * achieved / roof.peak_bw, "memory"
+        ceiling = min(roof.peak_flops, row.intensity * roof.peak_bw)
+        limiter = "compute" if ceiling == roof.peak_flops else "memory"
+        achieved = row.flops / row.sim_seconds
+        return 100.0 * achieved / ceiling, limiter
+
+    # --------------------------------------------------------------- report
+    def finalize(self) -> str:
+        rows = sorted(self.rows.values(), key=lambda r: -r.sim_seconds)[: self.top]
+        lines = [
+            "",
+            "=" * 72,
+            "roofline (vs active machine model)",
+            "=" * 72,
+            f"{'kernel':<36} {'space':<7} {'AI':>7} {'%roof':>7} {'bound':>8} "
+            f"{'sim s':>10}",
+        ]
+        for row in rows:
+            pct, limiter = self.percent_of_roof(row)
+            ai = row.intensity
+            ai_s = f"{ai:7.2f}" if ai != float("inf") else "    inf"
+            lines.append(
+                f"{row.name[:36]:<36} {row.space:<7} {ai_s} {pct:7.1f} "
+                f"{limiter:>8} {row.sim_seconds:>10.3e}"
+            )
+        return "\n".join(lines)

@@ -83,21 +83,21 @@ class TestRuns:
 
 class TestBenchEntry:
     def test_main_dispatches_to_hotpath_bench(self, monkeypatch):
-        import repro.bench.hotpath as hp
+        from repro.bench import registry
 
         calls = []
-        monkeypatch.setattr(
-            hp, "run_hotpath_bench", lambda **kw: calls.append(kw) or {}
+        monkeypatch.setitem(
+            registry._BENCHES, "hotpath", lambda **kw: calls.append(kw) or {}
         )
         assert main(["--bench", "hotpath", "--quiet"]) == 0
         assert calls == [{"quiet": True}]
 
     def test_main_dispatches_to_neighbor_bench(self, monkeypatch):
-        import repro.bench.neighbor as nb
+        from repro.bench import registry
 
         calls = []
-        monkeypatch.setattr(
-            nb, "run_neighbor_bench", lambda **kw: calls.append(kw) or {}
+        monkeypatch.setitem(
+            registry._BENCHES, "neighbor", lambda **kw: calls.append(kw) or {}
         )
         assert main(["--bench", "neighbor", "--quiet"]) == 0
         assert calls == [{"quiet": True}]

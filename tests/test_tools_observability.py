@@ -1,0 +1,313 @@
+"""The KokkosP-style observability subsystem (:mod:`repro.tools`).
+
+Covers the event registry contract (near-zero cost detached, per-rank
+clocks), the built-in tools (space-time-stack, memory events, kernel
+logger, roofline), the reconciliation guarantee — the space-time-stack's
+per-category totals match the thermo timing breakdown and the hardware
+ledgers on the same run — and the CLI/input-script attachment surface.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.kokkos as kk
+from repro.__main__ import main
+from repro.kokkos.core import device_context
+from repro.tools import create_tool, create_tools, tool_names
+from repro.tools import registry as kp
+from repro.tools.kernel_logger import KernelLogger
+from repro.tools.memory_events import MemoryEvents
+from repro.tools.roofline import Roofline
+from repro.tools.space_time_stack import SpaceTimeStack
+
+from conftest import make_melt
+
+#: categories the melt workload exercises (no kspace style -> no Kspace)
+ACTIVE_CATEGORIES = ("Pair", "Neigh", "Comm", "Modify", "Output")
+
+
+@pytest.fixture(autouse=True)
+def clean_chain():
+    """Every test starts and ends with no tools attached and fresh clocks."""
+    kp.TOOLS.clear()
+    kp.CHAIN.reset()
+    yield
+    kp.TOOLS.clear()
+    kp.CHAIN.reset()
+
+
+class TestRegistry:
+    def test_disabled_dispatch_is_noop(self):
+        assert kp.begin_kernel("parallel_for", "k", "Host") is None
+        kp.end_kernel(None, None, 0.0)  # must not raise
+        kp.fence("f")
+        kp.push_region("r")
+        kp.pop_region()
+        assert kp.CHAIN.region_stacks == {}
+
+    def test_kernel_event_advances_rank_clock(self):
+        class Recorder(kp.Tool):
+            def __init__(self):
+                self.ends = []
+
+            def end_parallel_for(self, ev):
+                self.ends.append(ev)
+
+        rec = Recorder()
+        with kp.attached(rec):
+            kid = kp.begin_kernel("parallel_for", "k", "Device")
+            kp.end_kernel(kid, None, 2.5e-6)
+        (ev,) = rec.ends
+        assert ev.sim_seconds == 2.5e-6
+        assert kp.CHAIN.sim_now(ev.rank) == pytest.approx(2.5e-6)
+        assert ev.sim_end_us == pytest.approx(2.5)
+
+    def test_per_rank_clocks_are_independent(self):
+        with kp.attached(kp.Tool()):
+            kp.set_rank(0)
+            kp.profile_event("a", sim_seconds=1.0e-6)
+            kp.set_rank(3)
+            kp.profile_event("b", sim_seconds=5.0e-6)
+        assert kp.CHAIN.sim_now(0) == pytest.approx(1.0e-6)
+        assert kp.CHAIN.sim_now(3) == pytest.approx(5.0e-6)
+
+    def test_region_stack_per_rank(self):
+        with kp.attached(kp.Tool()):
+            kp.set_rank(1)
+            kp.push_region("Pair")
+            kp.set_rank(2)
+            kp.push_region("Comm")
+            assert kp.CHAIN.stack(1) == ["Pair"]
+            assert kp.CHAIN.stack(2) == ["Comm"]
+
+    def test_finalize_all_detaches_and_reports(self):
+        class Reporter(kp.Tool):
+            def finalize(self):
+                return "report!"
+
+        kp.attach(Reporter())
+        reports = kp.finalize_all()
+        assert reports == ["report!"]
+        assert not kp.TOOLS
+
+    def test_catalog_and_factory(self):
+        names = tool_names()
+        for expected in (
+            "chrome-trace",
+            "kernel-logger",
+            "memory-events",
+            "roofline",
+            "space-time-stack",
+        ):
+            assert expected in names
+        with pytest.raises(ValueError):
+            create_tool("no-such-tool", ".")
+
+    def test_create_tools_parses_comma_list(self, tmp_path):
+        tools = create_tools("space-time-stack,memory_events", str(tmp_path))
+        assert len(tools) == 2
+
+
+class TestReconciliation:
+    """STS category totals == thermo breakdown == ledger deltas."""
+
+    def _run_with_sts(self, nsteps=20):
+        lmp = make_melt(device="H100", suffix="kk", cells=3)
+        ctx = device_context()
+        sts = SpaceTimeStack()
+        with kp.attached(sts):
+            sim0 = ctx.timeline.total() + lmp.world.ledger.total()
+            lmp.run(nsteps)
+            delta = ctx.timeline.total() + lmp.world.ledger.total() - sim0
+        return lmp, sts, delta
+
+    def test_categories_match_thermo_breakdown(self):
+        lmp, sts, _ = self._run_with_sts()
+        breakdown = lmp.last_run_stats["breakdown"]
+        totals = sts.category_totals()
+        assert totals, "space-time-stack saw no top-level regions"
+        for cat in ACTIVE_CATEGORIES:
+            assert totals.get(cat, 0.0) == pytest.approx(
+                breakdown[cat], rel=1e-9, abs=1e-15
+            ), f"category {cat} diverged"
+
+    def test_categories_account_for_all_charged_time(self):
+        lmp, sts, delta = self._run_with_sts()
+        assert delta > 0
+        # every modeled charge in the run loop happens inside a phase, so
+        # the per-category totals must add up to the ledger movement
+        assert sum(sts.category_totals().values()) == pytest.approx(
+            delta, rel=1e-9
+        )
+        assert sum(lmp.last_run_stats["breakdown"].values()) == pytest.approx(
+            delta, rel=1e-9
+        )
+
+    def test_pair_dominates_melt(self):
+        _, sts, _ = self._run_with_sts()
+        totals = sts.category_totals()
+        assert totals["Pair"] == max(totals.values())
+
+    def test_finalize_report_mentions_kernels(self):
+        _, sts, _ = self._run_with_sts(nsteps=5)
+        report = sts.finalize()
+        assert "PairComputeLJCut" in report
+        assert "Pair" in report
+
+
+class TestMemoryEvents:
+    def test_high_water_mark_on_melt(self):
+        mem = MemoryEvents()
+        with kp.attached(mem):
+            lmp = make_melt(device="H100", suffix="kk", cells=3)
+            lmp.run(5)
+        assert mem.high_water("Device") > 0
+        assert mem.log, "no allocation events recorded"
+        report = mem.finalize()
+        assert "Device" in report
+
+    def test_dealloc_clamps_at_zero(self):
+        mem = MemoryEvents()
+        with kp.attached(mem):
+            # deallocation of a view allocated before the tool attached
+            kp.deallocate_data("Host", "preexisting", 4096)
+            kp.allocate_data("Host", "v", 1024)
+        assert mem.current["Host"] == 1024
+        assert mem.high_water("Host") == 1024
+
+    def test_view_resize_tracks_both_sizes(self):
+        from repro.kokkos.view import View
+
+        mem = MemoryEvents()
+        with kp.attached(mem):
+            v = View(100, label="grow")
+            first = v.nbytes
+            v.resize(300)
+        labels = [(r.op, r.nbytes) for r in mem.log if r.label == "grow"]
+        assert ("alloc", first) in labels
+        assert ("free", first) in labels
+        assert ("alloc", v.nbytes) in labels
+
+
+class TestKernelLoggerAndRoofline:
+    def test_kernel_logger_writes_lines(self, tmp_path):
+        out = tmp_path / "kernels.txt"
+        logger = KernelLogger(str(out))
+        with kp.attached(logger):
+            lmp = make_melt(device="H100", suffix="kk", cells=3)
+            lmp.run(2)
+        logger.finalize()
+        text = out.read_text()
+        assert "PairComputeLJCut" in text
+        assert "Pair" in text  # region markers
+
+    def test_roofline_scores_against_machine_model(self):
+        roof = Roofline()
+        with kp.attached(roof):
+            lmp = make_melt(device="H100", suffix="kk", cells=3)
+            lmp.run(5)
+        report = roof.finalize()
+        assert "PairComputeLJCut" in report
+        rows = {name: row for (name, _), row in roof.rows.items()}
+        pair = rows["PairComputeLJCut"]
+        assert pair.flops > 0 and pair.bytes > 0 and pair.sim_seconds > 0
+        pct, limiter = roof.percent_of_roof(pair)
+        assert 0 < pct <= 100
+        assert limiter in ("memory", "compute")
+
+
+class TestCLIAndInputScript:
+    SCRIPT = """\
+units lj
+lattice fcc 0.8442
+region box block 0 3 0 3 0 3
+create_box 1 box
+create_atoms 1 box
+mass 1 1.0
+velocity all create 1.44 87287
+pair_style lj/cut 2.5
+pair_coeff 1 1 1.0 1.0
+fix 1 all nve
+run 5
+"""
+
+    def test_cli_tools_flag(self, tmp_path, capsys):
+        script = tmp_path / "melt.in"
+        script.write_text(self.SCRIPT)
+        rc = main(
+            [
+                "-in", str(script), "-k", "on", "-sf", "kk", "--quiet",
+                "--tools", "space-time-stack,chrome-trace",
+                "--tool-out", str(tmp_path),
+            ]
+        )
+        assert rc == 0
+        assert (tmp_path / "trace.json").exists()
+        assert "space-time-stack" in capsys.readouterr().out
+        assert not kp.TOOLS  # CLI finalizes and detaches
+
+    def test_cli_rejects_unknown_tool(self, tmp_path):
+        script = tmp_path / "melt.in"
+        script.write_text(self.SCRIPT)
+        with pytest.raises(SystemExit):
+            main(["-in", str(script), "--tools", "definitely-not-a-tool"])
+
+    def test_input_script_tools_command(self, tmp_path, capsys):
+        from repro.core import Lammps
+
+        lmp = Lammps(device="H100", suffix="kk")
+        lmp.command(f"tools space-time-stack out {tmp_path}")
+        assert len(kp.TOOLS) == 1
+        lmp.commands_string(self.SCRIPT)
+        lmp.command("tools off")
+        assert not kp.TOOLS
+        assert "space-time-stack" in capsys.readouterr().out
+
+    def test_input_script_unknown_tool_raises(self):
+        from repro.core import Lammps
+        from repro.core.errors import InputError
+
+        lmp = Lammps(device=None)
+        with pytest.raises(InputError):
+            lmp.command("tools not-a-tool")
+
+
+class TestDualViewHazard:
+    def test_modify_both_spaces_names_view(self):
+        from repro.kokkos.dual_view import DualView, DualViewModifyError
+
+        kk.initialize("H100")
+        dv = DualView(8, label="forces")
+        dv.modify_device()
+        with pytest.raises(DualViewModifyError, match="forces"):
+            dv.modify_host()
+        # the remedy is in the message
+        with pytest.raises(DualViewModifyError, match="sync first"):
+            dv.modify_host()
+        dv.sync_host()
+        dv.modify_host()  # after sync the write is legal
+
+
+class TestBenchRegistry:
+    def test_registered_names(self):
+        from repro.bench import bench_names
+
+        names = bench_names()
+        assert "hotpath" in names and "neighbor" in names
+
+    def test_cli_choices_come_from_registry(self):
+        from repro.__main__ import build_parser
+
+        bench_action = next(
+            a for a in build_parser()._actions if a.dest == "bench"
+        )
+        from repro.bench import bench_names
+
+        assert sorted(bench_action.choices) == bench_names()
+
+    def test_run_bench_unknown_name(self):
+        from repro.bench import run_bench
+
+        with pytest.raises(KeyError):
+            run_bench("nope")
