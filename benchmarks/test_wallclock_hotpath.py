@@ -17,6 +17,7 @@ import pytest
 from conftest import emit
 
 from repro.bench.hotpath import format_hotpath_report, run_hotpath_bench
+from repro.bench.stats import SCHEMA_VERSION, validate_bench
 
 BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_hotpath.json"
 
@@ -55,3 +56,15 @@ def test_bench_json_recorded(hotpath):
         assert set(r["step_seconds"]) == {"atomic", "segmented"}
         assert set(r["steps_per_second"]) == {"atomic", "segmented"}
     emit(format_hotpath_report(hotpath))
+
+
+def test_bench_json_repeat_stats(hotpath):
+    """Schema v2: every measurement carries min/median/stdev/repeats."""
+    assert hotpath["schema_version"] == SCHEMA_VERSION
+    validate_bench(hotpath)
+    melt = row(hotpath, "melt")
+    for mode in ("atomic", "segmented"):
+        block = melt["step_stats"][mode]
+        assert block["repeats"] == melt["repeats"]
+        assert block["median"] >= block["min"] > 0
+        assert block["stdev"] >= 0

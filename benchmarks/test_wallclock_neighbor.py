@@ -21,6 +21,7 @@ from repro.bench.neighbor import (
     run_neighbor_bench,
     validate_neighbor_bench,
 )
+from repro.bench.stats import SCHEMA_VERSION, validate_bench
 
 BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_neighbor.json"
 
@@ -71,3 +72,15 @@ def test_bench_json_recorded(neighbor_bench):
     assert BENCH_JSON.exists()
     validate_neighbor_bench(neighbor_bench)
     emit(format_neighbor_report(neighbor_bench))
+
+
+def test_bench_json_repeat_stats(neighbor_bench):
+    """Schema v2: every measurement carries min/median/stdev/repeats."""
+    assert neighbor_bench["schema_version"] == SCHEMA_VERSION
+    validate_bench(neighbor_bench)
+    melt = row(neighbor_bench, "melt")
+    for name in ("rebuild", "step"):
+        for mode in ("legacy", "shared"):
+            block = melt[f"{name}_stats"][mode]
+            assert block["median"] >= block["min"] > 0
+            assert block["stdev"] >= 0

@@ -9,6 +9,9 @@ Mirrors the LAMMPS binary's common flags::
     python -m repro -in melt.in -var cells 6 -var temp 1.2
     python -m repro --bench hotpath                  # refresh BENCH_hotpath.json
     python -m repro -in melt.in --tools space-time-stack,chrome-trace --tool-out out/
+    python -m repro -in melt.in --metrics-out out/   # Prometheus + JSONL metrics
+    python -m repro --analyze-trace out/trace.json   # offline trace analytics
+    python -m repro --sentinel BENCH_hotpath.json baselines/BENCH_hotpath.json
 
 ``-var`` values are injected as equal-style variables (usable as ``${name}``
 in the script), ``-k on [gpu <name>]`` selects the simulated device, ``-sf``
@@ -16,6 +19,11 @@ sets the global accelerator suffix, ``-np`` runs the script across simulated
 MPI ranks in lockstep, and ``--tools`` attaches KokkosP-style observability
 tools (:mod:`repro.tools`) for the duration of the run.  ``--bench`` choices
 come from the bench registry (:mod:`repro.bench.registry`).
+
+Offline modes (no input script): ``--analyze-trace`` runs the trace
+analyzer (:mod:`repro.tools.analyze`) over a recorded chrome trace;
+``--sentinel FRESH BASELINE`` runs the perf-regression sentinel
+(:mod:`repro.bench.sentinel`) and exits 1 on a confirmed regression.
 """
 
 from __future__ import annotations
@@ -49,6 +57,24 @@ def build_parser() -> argparse.ArgumentParser:
                    + ", ".join(tool_names()))
     p.add_argument("--tool-out", default=".", metavar="DIR",
                    help="directory for tool output files (default: cwd)")
+    p.add_argument("--metrics-out", default=None, metavar="DIR",
+                   help="attach the metrics tool and write metrics.prom, "
+                   "metrics.jsonl, and profiles.json under DIR")
+    p.add_argument("--analyze-trace", default=None, metavar="TRACE.json",
+                   help="analyze a recorded chrome trace instead of running "
+                   "a script (critical path, imbalance, overlap, top kernels)")
+    p.add_argument("--analyze-out", default=None, metavar="FILE",
+                   help="also write the trace analysis as JSON to FILE")
+    p.add_argument("--top", type=int, default=10,
+                   help="top-N kernels in the trace analysis (default 10)")
+    p.add_argument("--sentinel", nargs=2, default=None,
+                   metavar=("FRESH", "BASELINE"),
+                   help="compare a fresh BENCH_*.json against a committed "
+                   "baseline; exit 1 on a beyond-noise-band regression")
+    p.add_argument("--sentinel-out", default=None, metavar="FILE",
+                   help="write the sentinel verdict JSON to FILE")
+    p.add_argument("--rel-floor", type=float, default=None,
+                   help="sentinel relative noise floor (default 0.35)")
     p.add_argument("-k", "--kokkos", nargs="*", default=None, metavar="ARG",
                    help="'on [gpu <name>]' enables the simulated device "
                    "(default H100); 'off' forces a pure-host build")
@@ -79,11 +105,36 @@ def resolve_device(kokkos_args: list[str] | None) -> str | None:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.sentinel is not None:
+        from repro.bench.sentinel import REL_FLOOR, run_sentinel
+
+        fresh, baseline = args.sentinel
+        verdict = run_sentinel(
+            fresh, baseline,
+            out_path=args.sentinel_out,
+            rel_floor=args.rel_floor if args.rel_floor is not None else REL_FLOOR,
+            quiet=args.quiet,
+        )
+        return 1 if verdict["verdict"] == "fail" else 0
+    if args.analyze_trace is not None:
+        import json
+
+        from repro.tools.analyze import analyze_file, format_report
+
+        analysis = analyze_file(args.analyze_trace, top=args.top)
+        if args.analyze_out:
+            with open(args.analyze_out, "w") as fh:
+                json.dump(analysis, fh, indent=2)
+                fh.write("\n")
+        if not args.quiet:
+            print(format_report(analysis))
+        return 0
     if args.bench is not None:
         run_bench(args.bench, quiet=args.quiet)
         return 0
     if args.script is None:
-        parser.error("an input script (-in FILE) or --bench is required")
+        parser.error("an input script (-in FILE), --bench, --analyze-trace, "
+                     "or --sentinel is required")
     device = resolve_device(args.kokkos)
 
     tools = []
@@ -94,6 +145,16 @@ def main(argv: list[str] | None = None) -> int:
             parser.error(str(err))
         for tool in tools:
             kp.attach(tool)
+    if args.metrics_out is not None:
+        import os
+
+        from repro.tools.metrics import MetricsTool
+
+        os.makedirs(args.metrics_out or ".", exist_ok=True)
+        workload = os.path.splitext(os.path.basename(args.script))[0]
+        tool = MetricsTool(args.metrics_out or ".", workload=workload)
+        kp.attach(tool)
+        tools.append(tool)
 
     try:
         if args.nranks > 1:

@@ -32,6 +32,13 @@ from repro.bench.neighbor import (
     validate_neighbor_bench,
 )
 from repro.bench.reporting import format_table, format_series
+from repro.bench.sentinel import compare, format_verdict, run_sentinel
+from repro.bench.stats import (
+    SCHEMA_VERSION,
+    collect_samples,
+    summarize,
+    validate_bench,
+)
 
 __all__ = [
     "bench_names",
@@ -55,4 +62,11 @@ __all__ = [
     "run_neighbor_bench",
     "format_neighbor_report",
     "validate_neighbor_bench",
+    "SCHEMA_VERSION",
+    "summarize",
+    "collect_samples",
+    "validate_bench",
+    "compare",
+    "format_verdict",
+    "run_sentinel",
 ]

@@ -16,21 +16,27 @@ Two timings per workload and contribution mode:
   kernel evaluation, scatter, tallies), the end-to-end force step.
 
 Both modes run the same pipeline; only :func:`force_scatter_mode` differs.
-Timings are best-of-``repeats`` (robust against scheduler noise on shared
-CI runners).
+The ``<name>_seconds`` point estimates are best-of-``repeats`` (robust
+against scheduler noise on shared CI runners); the sibling ``<name>_stats``
+blocks record min/median/stdev/repeats so the regression sentinel can size
+a noise band per measurement (:mod:`repro.bench.stats`).
 """
 
 from __future__ import annotations
 
 import json
-import time
-from typing import Callable
 
 import numpy as np
 
 import repro.potentials  # noqa: F401  (register pair styles)
 import repro.snap  # noqa: F401
 from repro.bench.registry import register_bench
+from repro.bench.stats import (
+    SCHEMA_VERSION,
+    collect_samples,
+    summarize,
+    validate_bench,
+)
 from repro.core import Lammps
 from repro.kokkos.segment import ATOMIC, SEGMENTED, force_scatter_mode
 from repro.workloads.melt import setup_melt
@@ -38,17 +44,6 @@ from repro.workloads.tantalum import setup_tantalum
 
 #: default output file (repo-root relative when run from the checkout)
 DEFAULT_OUT = "BENCH_hotpath.json"
-
-
-def _best_of(fn: Callable[[], None], repeats: int) -> float:
-    """Best wall-clock seconds over ``repeats`` calls (after one warmup)."""
-    fn()
-    best = float("inf")
-    for _ in range(repeats):
-        t0 = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - t0)
-    return best
 
 
 def _build_melt(cells: int) -> Lammps:
@@ -92,14 +87,22 @@ def _melt_scatter_closure(lmp: Lammps):
     return run
 
 
-def _time_step(lmp: Lammps, repeats: int) -> float:
+def _step_samples(lmp: Lammps, repeats: int) -> list[float]:
     atom, pair = lmp.atom, lmp.pair
 
     def run() -> None:
         atom.f[: atom.nall] = 0.0
         pair.compute(True, True)
 
-    return _best_of(run, repeats)
+    return collect_samples(run, repeats)
+
+
+def _record(row: dict, name: str, mode: str, samples: list[float]) -> None:
+    """File one measurement's repeat samples under ``<name>_seconds`` (min,
+    the historical point estimate) and ``<name>_stats`` (full summary)."""
+    stats = summarize(samples)
+    row.setdefault(f"{name}_seconds", {})[mode] = stats["min"]
+    row.setdefault(f"{name}_stats", {})[mode] = stats
 
 
 def bench_melt(cells: int = 8, repeats: int = 10) -> dict:
@@ -112,13 +115,11 @@ def bench_melt(cells: int = 8, repeats: int = 10) -> dict:
         "natoms": int(lmp.natoms_total),
         "pairs": int(lmp.neigh_list.total_pairs),
         "repeats": repeats,
-        "scatter_seconds": {},
-        "step_seconds": {},
     }
     for mode in (ATOMIC, SEGMENTED):
         with force_scatter_mode(mode):
-            out["scatter_seconds"][mode] = _best_of(scatter, repeats)
-            out["step_seconds"][mode] = _time_step(lmp, repeats)
+            _record(out, "scatter", mode, collect_samples(scatter, repeats))
+            _record(out, "step", mode, _step_samples(lmp, repeats))
     _finish(out)
     return out
 
@@ -133,11 +134,10 @@ def bench_tantalum(cells: int = 3, twojmax: int = 8, repeats: int = 3) -> dict:
         "twojmax": twojmax,
         "natoms": int(lmp.natoms_total),
         "repeats": repeats,
-        "step_seconds": {},
     }
     for mode in (ATOMIC, SEGMENTED):
         with force_scatter_mode(mode):
-            out["step_seconds"][mode] = _time_step(lmp, repeats)
+            _record(out, "step", mode, _step_samples(lmp, repeats))
     _finish(out)
     return out
 
@@ -168,11 +168,13 @@ def run_hotpath_bench(
     results = {
         "benchmark": "hotpath",
         "units": "seconds (best-of-repeats wall clock)",
+        "schema_version": SCHEMA_VERSION,
         "workloads": [
             bench_melt(repeats=melt_repeats),
             bench_tantalum(repeats=snap_repeats),
         ],
     }
+    validate_bench(results)
     if out_path:
         with open(out_path, "w") as fh:
             json.dump(results, fh, indent=2)

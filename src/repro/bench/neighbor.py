@@ -17,8 +17,11 @@ wall-clock seconds, and records the numbers to ``BENCH_neighbor.json``:
   pair list *and* the bond-search list shared one grid; the pre-overhaul
   pipeline re-binned for the bond list every force call.
 
-Timings are best-of-``repeats`` (robust against scheduler noise on shared
-CI runners); mode comparisons run on fresh, identically-seeded engines.
+The ``<name>_seconds`` point estimates are best-of-``repeats`` (robust
+against scheduler noise on shared CI runners); sibling ``<name>_stats``
+blocks record min/median/stdev/repeats for the regression sentinel's noise
+band (:mod:`repro.bench.stats`).  Mode comparisons run on fresh,
+identically-seeded engines.
 """
 
 from __future__ import annotations
@@ -30,6 +33,7 @@ import repro.potentials  # noqa: F401  (register pair styles)
 import repro.reaxff  # noqa: F401
 import repro.snap  # noqa: F401
 from repro.bench.registry import register_bench
+from repro.bench.stats import SCHEMA_VERSION, summarize, validate_bench
 from repro.core import Lammps
 from repro.core.bin_grid import BinGrid
 from repro.core.neighbor import (
@@ -67,14 +71,14 @@ def _fresh(workload: str) -> Lammps:
     return lmp
 
 
-def _time_steps(workload: str, nsteps: int, repeats: int) -> dict:
-    """Best per-step wall seconds for ``nsteps`` dynamics, both modes.
+def _step_samples(workload: str, nsteps: int, repeats: int) -> dict:
+    """Per-step wall-second samples for ``nsteps`` dynamics, both modes.
 
     Modes are interleaved within each repeat — running all of one mode's
     repeats before the other lets slow machine-load drift masquerade as a
     speedup (or a regression) between the two halves of the measurement.
     """
-    best = {LEGACY: float("inf"), SHARED: float("inf")}
+    samples: dict = {LEGACY: [], SHARED: []}
     for _ in range(repeats):
         for mode in (LEGACY, SHARED):
             with force_stencil_mode(mode):
@@ -82,8 +86,15 @@ def _time_steps(workload: str, nsteps: int, repeats: int) -> dict:
                 lmp.run(2)  # warmup: JIT-less but primes allocators/caches
                 t0 = time.perf_counter()
                 lmp.run(nsteps)
-                best[mode] = min(best[mode], time.perf_counter() - t0)
-    return {mode: t / nsteps for mode, t in best.items()}
+                samples[mode].append((time.perf_counter() - t0) / nsteps)
+    return samples
+
+
+def _record(row: dict, name: str, samples: dict) -> None:
+    """File per-mode repeat samples under ``<name>_seconds`` (min, the
+    historical point estimate) and ``<name>_stats`` (full summary)."""
+    row[f"{name}_seconds"] = {m: min(s) for m, s in samples.items()}
+    row[f"{name}_stats"] = {m: summarize(s) for m, s in samples.items()}
 
 
 def bench_melt(repeats: int = 5, nsteps: int = 20) -> dict:
@@ -102,10 +113,8 @@ def bench_melt(repeats: int = 5, nsteps: int = 20) -> dict:
         "natoms": int(lmp.natoms_total),
         "pairs": int(lmp.neigh_list.total_pairs),
         "repeats": repeats,
-        "rebuild_seconds": {},
-        "step_seconds": {},
     }
-    best = {LEGACY: float("inf"), SHARED: float("inf")}
+    rebuild: dict = {LEGACY: [], SHARED: []}
     for mode in (LEGACY, SHARED):  # warm both paths before timing
         with force_stencil_mode(mode):
             build_neighbor_list(x, nlocal, cutghost, style=style, newton=newton)
@@ -116,9 +125,9 @@ def bench_melt(repeats: int = 5, nsteps: int = 20) -> dict:
                 build_neighbor_list(
                     x, nlocal, cutghost, style=style, newton=newton
                 )
-                best[mode] = min(best[mode], time.perf_counter() - t0)
-    out["rebuild_seconds"] = dict(best)
-    out["step_seconds"] = _time_steps("melt", nsteps, 2)
+                rebuild[mode].append(time.perf_counter() - t0)
+    _record(out, "rebuild", rebuild)
+    _record(out, "step", _step_samples("melt", nsteps, 2))
     out["rebuild_speedup"] = (
         out["rebuild_seconds"][LEGACY] / out["rebuild_seconds"][SHARED]
     )
@@ -136,8 +145,8 @@ def bench_hns(nsteps: int = 12) -> dict:
     out: dict = {
         "workload": "hns",
         "pair_style": "reaxff",
-        "step_seconds": _time_steps("hns", nsteps, 2),
     }
+    _record(out, "step", _step_samples("hns", nsteps, 2))
     with force_stencil_mode(SHARED):
         lmp = _fresh("hns")
         builds0 = lmp.neighbor.builds
@@ -159,8 +168,8 @@ def bench_tantalum(nsteps: int = 3, repeats: int = 3) -> dict:
     out: dict = {
         "workload": "tantalum",
         "pair_style": "snap",
-        "step_seconds": _time_steps("tantalum", nsteps, repeats),
     }
+    _record(out, "step", _step_samples("tantalum", nsteps, repeats))
     with force_stencil_mode(SHARED):
         lmp = _fresh("tantalum")
     out["natoms"] = int(lmp.natoms_total)
@@ -222,6 +231,7 @@ def run_neighbor_bench(
     results = {
         "benchmark": "neighbor",
         "units": "seconds (best-of-repeats wall clock)",
+        "schema_version": SCHEMA_VERSION,
         "workloads": [
             bench_melt(repeats=melt_repeats),
             bench_hns(),
@@ -229,6 +239,7 @@ def run_neighbor_bench(
         ],
     }
     validate_neighbor_bench(results)
+    validate_bench(results)
     if out_path:
         with open(out_path, "w") as fh:
             json.dump(results, fh, indent=2)

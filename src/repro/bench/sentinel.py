@@ -1,0 +1,249 @@
+"""CI perf-regression sentinel: fresh BENCH_*.json vs committed baseline.
+
+``python -m repro --sentinel FRESH BASELINE`` compares every measurement a
+wall-clock bench records (the ``<name>_seconds`` mode dicts, e.g. melt
+``step_seconds[segmented]``) against the committed baseline, using the
+recorded repeat statistics to size a per-measurement noise band:
+
+    band = max(rel_floor, z * max(cv_baseline, cv_fresh))
+    cv   = stdev / median            (coefficient of variation)
+
+A measurement is **regressed** only when the fresh minimum exceeds the
+baseline minimum by more than the band — beyond-noise-band, the
+"confirmed" regression CI gates on — and **improved** symmetrically.
+Everything in between is **ok**.  Measurements present on only one side
+are reported (``new`` / ``missing``) but never fail the verdict; schema
+problems do (a baseline that can't be validated can't clear anything).
+
+The verdict is machine-readable JSON (``--sentinel-out``) so CI can both
+gate on the exit code and upload the artifact::
+
+    {"verdict": "pass" | "fail",
+     "regressions": 3, "improvements": 1, "checked": 14,
+     "comparisons": [{"workload": "melt", "measurement": "step_seconds",
+                      "mode": "segmented", "status": "regressed",
+                      "baseline": ..., "fresh": ..., "ratio": 1.41,
+                      "band": 0.35}, ...]}
+
+The default ``rel_floor`` is deliberately generous (35%): shared CI
+runners jitter, and a sentinel that cries wolf gets deleted.  Local runs
+can tighten it with ``--rel-floor``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.bench.stats import (
+    SECONDS_SUFFIX,
+    STATS_SUFFIX,
+    measurement_keys,
+    validate_bench,
+)
+
+#: default relative noise floor (35%): below this, never call a regression
+REL_FLOOR = 0.35
+#: stdev multiplier for the measured-noise part of the band
+Z_SCORE = 3.0
+
+
+def load_bench(path: str) -> dict:
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def _cv(stats_block: dict | None) -> float:
+    """Coefficient of variation from a min/median/stdev block (0 if absent)."""
+    if not stats_block:
+        return 0.0
+    median = stats_block.get("median", 0.0)
+    if not median:
+        return 0.0
+    return stats_block.get("stdev", 0.0) / median
+
+
+def compare(
+    fresh: dict,
+    baseline: dict,
+    *,
+    rel_floor: float = REL_FLOOR,
+    z: float = Z_SCORE,
+) -> dict:
+    """Noise-aware comparison; returns the verdict dict described above."""
+    for side, results in (("fresh", fresh), ("baseline", baseline)):
+        try:
+            validate_bench(results)
+        except ValueError as err:
+            return {
+                "verdict": "fail",
+                "error": f"{side} bench failed validation: {err}",
+                "comparisons": [],
+                "checked": 0,
+                "regressions": 0,
+                "improvements": 0,
+            }
+    if fresh.get("benchmark") != baseline.get("benchmark"):
+        return {
+            "verdict": "fail",
+            "error": (
+                f"benchmark mismatch: fresh {fresh.get('benchmark')!r} vs "
+                f"baseline {baseline.get('benchmark')!r}"
+            ),
+            "comparisons": [],
+            "checked": 0,
+            "regressions": 0,
+            "improvements": 0,
+        }
+
+    base_rows = {row["workload"]: row for row in baseline["workloads"]}
+    comparisons: list[dict] = []
+    for row in fresh["workloads"]:
+        wname = row["workload"]
+        base_row = base_rows.pop(wname, None)
+        if base_row is None:
+            comparisons.append(
+                {"workload": wname, "measurement": None, "mode": None,
+                 "status": "new"}
+            )
+            continue
+        for seconds_key in measurement_keys(row):
+            stats_key = seconds_key[: -len(SECONDS_SUFFIX)] + STATS_SUFFIX
+            base_seconds = base_row.get(seconds_key, {})
+            for mode, fresh_min in row[seconds_key].items():
+                entry = {
+                    "workload": wname,
+                    "measurement": seconds_key,
+                    "mode": mode,
+                }
+                base_min = base_seconds.get(mode)
+                if base_min is None:
+                    comparisons.append(dict(entry, status="new"))
+                    continue
+                band = max(
+                    rel_floor,
+                    z * max(
+                        _cv(base_row.get(stats_key, {}).get(mode)),
+                        _cv(row.get(stats_key, {}).get(mode)),
+                    ),
+                )
+                ratio = fresh_min / base_min if base_min > 0 else float("inf")
+                if ratio > 1.0 + band:
+                    status = "regressed"
+                elif ratio < 1.0 - band:
+                    status = "improved"
+                else:
+                    status = "ok"
+                comparisons.append(
+                    dict(
+                        entry,
+                        status=status,
+                        baseline=base_min,
+                        fresh=fresh_min,
+                        ratio=ratio,
+                        band=band,
+                    )
+                )
+        # measurements only the baseline has
+        for seconds_key in measurement_keys(base_row):
+            for mode in base_row[seconds_key]:
+                if mode not in row.get(seconds_key, {}):
+                    comparisons.append(
+                        {"workload": wname, "measurement": seconds_key,
+                         "mode": mode, "status": "missing"}
+                    )
+    for wname in base_rows:
+        comparisons.append(
+            {"workload": wname, "measurement": None, "mode": None,
+             "status": "missing"}
+        )
+
+    regressions = sum(c["status"] == "regressed" for c in comparisons)
+    improvements = sum(c["status"] == "improved" for c in comparisons)
+    checked = sum(c["status"] in ("ok", "regressed", "improved")
+                  for c in comparisons)
+    return {
+        "verdict": "fail" if regressions else "pass",
+        "benchmark": fresh.get("benchmark"),
+        "rel_floor": rel_floor,
+        "z": z,
+        "checked": checked,
+        "regressions": regressions,
+        "improvements": improvements,
+        "comparisons": comparisons,
+    }
+
+
+def format_verdict(verdict: dict) -> str:
+    lines = [
+        f"sentinel [{verdict.get('benchmark', '?')}]: "
+        f"{verdict['verdict'].upper()} — {verdict['checked']} checked, "
+        f"{verdict['regressions']} regressed, "
+        f"{verdict['improvements']} improved"
+    ]
+    if "error" in verdict:
+        lines.append(f"  error: {verdict['error']}")
+    for c in verdict["comparisons"]:
+        if c["status"] in ("ok",):
+            continue
+        if c["status"] in ("new", "missing"):
+            lines.append(
+                f"  {c['status']:<9} {c['workload']} "
+                f"{c.get('measurement') or ''} {c.get('mode') or ''}".rstrip()
+            )
+            continue
+        arrow = "SLOWER" if c["status"] == "regressed" else "faster"
+        lines.append(
+            f"  {c['status']:<9} {c['workload']}.{c['measurement']}"
+            f"[{c['mode']}]: {c['baseline']:.6f}s -> {c['fresh']:.6f}s "
+            f"({c['ratio']:.2f}x, {arrow}; noise band ±{c['band'] * 100:.0f}%)"
+        )
+    return "\n".join(lines)
+
+
+def run_sentinel(
+    fresh_path: str,
+    baseline_path: str,
+    *,
+    out_path: str | None = None,
+    rel_floor: float = REL_FLOOR,
+    z: float = Z_SCORE,
+    quiet: bool = False,
+) -> dict:
+    """Compare two bench files; write the verdict; return it."""
+    verdict = compare(
+        load_bench(fresh_path), load_bench(baseline_path),
+        rel_floor=rel_floor, z=z,
+    )
+    if out_path:
+        with open(out_path, "w") as fh:
+            json.dump(verdict, fh, indent=2)
+            fh.write("\n")
+    if not quiet:
+        print(format_verdict(verdict))
+    return verdict
+
+
+def main(argv: list[str] | None = None) -> int:
+    p = argparse.ArgumentParser(
+        prog="python -m repro.bench.sentinel",
+        description="noise-aware BENCH_*.json regression gate",
+    )
+    p.add_argument("fresh", help="freshly-run bench JSON")
+    p.add_argument("baseline", help="committed baseline bench JSON")
+    p.add_argument("-o", "--out", default=None, help="write verdict JSON here")
+    p.add_argument("--rel-floor", type=float, default=REL_FLOOR,
+                   help=f"relative noise floor (default {REL_FLOOR})")
+    p.add_argument("--z", type=float, default=Z_SCORE,
+                   help=f"stdev multiplier for the noise band (default {Z_SCORE})")
+    args = p.parse_args(argv)
+    verdict = run_sentinel(
+        args.fresh, args.baseline,
+        out_path=args.out, rel_floor=args.rel_floor, z=args.z,
+    )
+    return 1 if verdict["verdict"] == "fail" else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI tests
+    sys.exit(main())

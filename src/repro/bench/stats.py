@@ -1,0 +1,117 @@
+"""Repeat statistics and the shared BENCH_*.json schema contract.
+
+Every wall-clock benchmark used to record only the best-of-repeats number.
+The regression sentinel (:mod:`repro.bench.sentinel`) needs to know how
+noisy a measurement is before calling a difference a regression, so bench
+rows now carry a stats block per measurement::
+
+    "step_seconds":  {"atomic": 0.0126, "segmented": 0.0095},      # min
+    "step_stats":    {"atomic":  {"min": ..., "median": ..,
+                                  "stdev": .., "repeats": 10}, ...}
+
+``<name>_seconds`` keeps the historical meaning (minimum over repeats, the
+robust point estimate on shared CI runners); the sibling ``<name>_stats``
+adds median/stdev/repeat-count.  ``schema_version`` at the top level gates
+consumers: version 2 is the first with stats blocks.
+
+:func:`validate_bench` is the small validator the benches run before
+writing and the sentinel runs on both sides of a comparison.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from typing import Callable
+
+#: current BENCH_*.json schema: 2 = repeat-stats blocks + schema_version
+SCHEMA_VERSION = 2
+
+#: suffix convention linking a timing dict to its stats dict
+SECONDS_SUFFIX = "_seconds"
+STATS_SUFFIX = "_stats"
+
+
+def summarize(samples: list[float]) -> dict:
+    """min/median/stdev/repeats of one measurement's repeat samples."""
+    if not samples:
+        raise ValueError("no samples to summarize")
+    return {
+        "min": min(samples),
+        "median": statistics.median(samples),
+        "stdev": statistics.stdev(samples) if len(samples) > 1 else 0.0,
+        "repeats": len(samples),
+    }
+
+
+def collect_samples(fn: Callable[[], None], repeats: int) -> list[float]:
+    """Wall-clock seconds per call over ``repeats`` calls (after one warmup)."""
+    fn()
+    samples: list[float] = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - t0)
+    return samples
+
+
+def measurement_keys(row: dict) -> list[str]:
+    """The ``<name>_seconds`` mode-dict measurements present in a bench row."""
+    return [
+        key
+        for key, value in row.items()
+        if key.endswith(SECONDS_SUFFIX)
+        and isinstance(value, dict)
+        and all(isinstance(v, (int, float)) for v in value.values())
+    ]
+
+
+def validate_bench(results: dict) -> None:
+    """Raise ``ValueError`` unless ``results`` matches the stats schema.
+
+    Checks the shape shared by every wall-clock bench: top-level identity
+    keys, ``schema_version``, and — for each ``<name>_seconds`` measurement
+    in each workload row — a consistent ``<name>_stats`` block whose
+    ``min`` equals the recorded point estimate.
+    """
+    for key in ("benchmark", "units", "workloads", "schema_version"):
+        if key not in results:
+            raise ValueError(f"bench JSON missing top-level {key!r}")
+    if results["schema_version"] != SCHEMA_VERSION:
+        raise ValueError(
+            f"bench schema_version {results['schema_version']!r} != "
+            f"{SCHEMA_VERSION} (rebless the baseline: see TESTING.md)"
+        )
+    for row in results["workloads"]:
+        wname = row.get("workload", "?")
+        if "workload" not in row:
+            raise ValueError("workload row missing 'workload'")
+        for seconds_key in measurement_keys(row):
+            stats_key = seconds_key[: -len(SECONDS_SUFFIX)] + STATS_SUFFIX
+            stats = row.get(stats_key)
+            if stats is None:
+                raise ValueError(
+                    f"workload {wname!r}: {seconds_key!r} has no {stats_key!r}"
+                )
+            for mode, point in row[seconds_key].items():
+                block = stats.get(mode)
+                if block is None:
+                    raise ValueError(
+                        f"workload {wname!r}: {stats_key!r} missing mode {mode!r}"
+                    )
+                for field in ("min", "median", "stdev", "repeats"):
+                    if field not in block:
+                        raise ValueError(
+                            f"workload {wname!r}: {stats_key}[{mode!r}] "
+                            f"missing {field!r}"
+                        )
+                if abs(block["min"] - point) > 1e-12 * max(abs(point), 1.0):
+                    raise ValueError(
+                        f"workload {wname!r}: {seconds_key}[{mode!r}]="
+                        f"{point} disagrees with its stats min {block['min']}"
+                    )
+                if block["median"] < block["min"]:
+                    raise ValueError(
+                        f"workload {wname!r}: {stats_key}[{mode!r}] median "
+                        "below min"
+                    )

@@ -31,6 +31,7 @@ from repro.core.atom import BORDER_FIELDS, AtomVec
 from repro.core.errors import CommError
 from repro.parallel.comm import SimComm
 from repro.parallel.decomp import BrickDecomposition
+from repro.tools import metrics
 
 
 @dataclass
@@ -154,6 +155,8 @@ class CommBrick:
     # -------------------------------------------------------------- borders
     def borders(self, atom: AtomVec, periodic: tuple[bool, bool, bool]) -> Iterator[None]:
         """Rebuild the ghost shell (generator; one yield per swap)."""
+        if metrics.SINKS:
+            metrics.inc("halo_exchanges_total", kind="borders")
         atom.clear_ghosts()
         self.swaps = []
         self._swap_reorder_gen = atom.reorder_generation
@@ -216,6 +219,8 @@ class CommBrick:
     # --------------------------------------------------------- forward comm
     def forward_comm(self, atom: AtomVec) -> Iterator[None]:
         """Refresh ghost positions over the recorded swaps (per-step path)."""
+        if metrics.SINKS:
+            metrics.inc("halo_exchanges_total", kind="forward")
         self._check_sendlists(atom)
         for k, swap in enumerate(self.swaps):
             buf = atom.x[swap.sendlist] + swap.shift
@@ -252,6 +257,8 @@ class CommBrick:
         EAM forward-communicates derivative terms between the density and
         force loops (figure 1's "additional communication").
         """
+        if metrics.SINKS:
+            metrics.inc("halo_exchanges_total", kind="forward_field")
         self._check_sendlists(atom)
         arr = getattr(atom, name)
         for k, swap in enumerate(self.swaps):
@@ -267,6 +274,8 @@ class CommBrick:
         Runs the swaps in reverse so contributions that landed on a ghost of
         a ghost retrace both hops (exactly LAMMPS's reverse pass).
         """
+        if metrics.SINKS:
+            metrics.inc("halo_exchanges_total", kind="reverse")
         self._check_sendlists(atom)
         arr = getattr(atom, name)
         for k, swap in reversed(list(enumerate(self.swaps))):
@@ -284,6 +293,8 @@ class CommBrick:
         ``wrap`` maps positions into the primary periodic box first, so
         owners are computed on canonical coordinates.
         """
+        if metrics.SINKS:
+            metrics.inc("halo_exchanges_total", kind="exchange")
         atom.clear_ghosts()
         n = atom.nlocal
         atom.x[:n] = wrap(atom.x[:n])

@@ -213,6 +213,41 @@ class Input:
         for tool in tools:
             kp.attach(tool)
 
+    def cmd_metrics(self, args: list[str]) -> None:
+        """``metrics on [out <dir>] [workload <name>]`` attaches the metrics
+        tool (:mod:`repro.tools.metrics`); ``metrics off`` finalizes and
+        detaches only metrics tools, printing their reports.  Like
+        ``tools``, the chain is process-global: root rank only."""
+        self._need(args, 1, "metrics on [out <dir>] [workload <name>] | "
+                            "metrics off")
+        if self.lmp.comm_rank != 0:
+            return
+        from repro.tools import registry as kp
+        from repro.tools.metrics import MetricsTool
+
+        if args[0] == "off":
+            for tool in [t for t in kp.TOOLS if isinstance(t, MetricsTool)]:
+                report = tool.finalize()
+                kp.detach(tool)
+                if report:
+                    print(report)
+            return
+        if args[0] != "on":
+            raise InputError("metrics expects 'on' or 'off'")
+        out = None
+        workload = "run"
+        rest = args[1:]
+        while rest:
+            if rest[0] == "out" and len(rest) >= 2:
+                out = rest[1]
+                rest = rest[2:]
+            elif rest[0] == "workload" and len(rest) >= 2:
+                workload = rest[1]
+                rest = rest[2:]
+            else:
+                raise InputError(f"metrics: unknown option {rest[0]!r}")
+        kp.attach(MetricsTool(out, workload=workload))
+
     # ---------------------------------------------------------- geometry
     def cmd_lattice(self, args: list[str]) -> None:
         self._need(args, 2, "lattice <style> <scale>")

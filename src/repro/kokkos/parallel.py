@@ -75,7 +75,13 @@ def parallel_for(
     profile: KernelProfile | None = None,
 ) -> None:
     """Execute ``functor`` over the policy's iteration space for effect."""
-    kid = kp.begin_kernel("parallel_for", name, policy.space.name) if kp.TOOLS else None
+    kid = (
+        kp.begin_kernel(
+            "parallel_for", name, policy.space.name, float(policy.parallelism)
+        )
+        if kp.TOOLS
+        else None
+    )
     _run(policy, functor)
     seconds, resolved = _charge(name, policy, profile)
     if kid is not None:
@@ -98,7 +104,9 @@ def parallel_reduce(
     and return the value.
     """
     kid = (
-        kp.begin_kernel("parallel_reduce", name, policy.space.name)
+        kp.begin_kernel(
+            "parallel_reduce", name, policy.space.name, float(policy.parallelism)
+        )
         if kp.TOOLS
         else None
     )
@@ -131,7 +139,9 @@ def parallel_scan(
     if not isinstance(policy, RangePolicy):
         raise TypeError("parallel_scan requires a RangePolicy")
     kid = (
-        kp.begin_kernel("parallel_scan", name, policy.space.name)
+        kp.begin_kernel(
+            "parallel_scan", name, policy.space.name, float(policy.parallelism)
+        )
         if kp.TOOLS
         else None
     )

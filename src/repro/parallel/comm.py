@@ -16,6 +16,7 @@ from typing import Any, Callable, Sequence
 import numpy as np
 
 from repro.hardware.network import NETWORKS, NetworkSpec
+from repro.tools import metrics
 from repro.tools import registry as kp
 
 #: Intra-node (NVLink / xGMI / Xe-Link class) message parameters.
@@ -47,6 +48,11 @@ class CommLedger:
         self.messages += 1
         self.bytes_moved += nbytes
         self.cum_seconds += seconds
+        if metrics.SINKS:
+            metrics.inc("comm_messages_total", category=category)
+            metrics.inc("comm_sim_seconds_total", seconds, category=category)
+            if nbytes:
+                metrics.inc("comm_bytes_total", nbytes, category=category)
         if kp.TOOLS:
             # one charged instant per modeled message/collective: the
             # KokkosP analogue of an MPI profiling hook, attributed to the
@@ -174,6 +180,12 @@ class SimWorld:
             )
             self._reduce_results[key] = (total, 0)
             del self._reduce_buckets[key]
+        elif kp.TOOLS:
+            # the first reader charged the collective (and its instant) to
+            # its own track; later readers mark the same sync point at zero
+            # cost so every rank's timeline carries one ``comm:allreduce``
+            # per collective — the trace analyzer segments on these
+            kp.profile_event("comm:allreduce", sim_seconds=0.0)
         total, reads = self._reduce_results[key]
         reads += 1
         if reads >= self.size:

@@ -44,13 +44,17 @@ TOOL_CATALOG: dict[str, tuple[str, str, bool]] = {
     "memory-events": ("repro.tools.memory_events", "MemoryEvents", True),
     "chrome-trace": ("repro.tools.chrome_trace", "ChromeTrace", True),
     "roofline": ("repro.tools.roofline", "Roofline", False),
+    "metrics": ("repro.tools.metrics", "MetricsTool", True),
 }
 
-#: default output filename per tool (within ``--tool-out``)
+#: default output filename per tool (within ``--tool-out``); an empty string
+#: means the tool takes the output *directory* itself (it writes several
+#: files, e.g. metrics.prom + metrics.jsonl + profiles.json)
 _DEFAULT_OUT = {
     "kernel-logger": "kernel_log.txt",
     "memory-events": "memory_events.txt",
     "chrome-trace": "trace.json",
+    "metrics": "",
 }
 
 
@@ -62,8 +66,13 @@ def create_tool(name: str, outdir: str | None = None) -> Tool:
     """Instantiate one built-in tool by its CLI name."""
     key = name.strip().lower().replace("_", "-")
     if key not in TOOL_CATALOG:
+        import difflib
+
+        close = difflib.get_close_matches(key, tool_names(), n=1)
+        hint = f" (did you mean {close[0]!r}?)" if close else ""
         raise ValueError(
-            f"unknown tool {name!r}; available: {', '.join(tool_names())}"
+            f"unknown tool {name!r}{hint}; registered tools: "
+            f"{', '.join(tool_names())} — or 'all' for every one"
         )
     module_name, cls_name, takes_out = TOOL_CATALOG[key]
     import importlib
@@ -75,10 +84,18 @@ def create_tool(name: str, outdir: str | None = None) -> Tool:
     if key in _DEFAULT_OUT:
         base = outdir or "."
         os.makedirs(base, exist_ok=True)
-        out = os.path.join(base, _DEFAULT_OUT[key])
+        out = os.path.join(base, _DEFAULT_OUT[key]) if _DEFAULT_OUT[key] else base
     return cls(out) if out is not None else cls()
 
 
 def create_tools(spec: str, outdir: str | None = None) -> list[Tool]:
-    """Parse a comma-separated tool list (the ``--tools`` argument)."""
-    return [create_tool(name, outdir) for name in spec.split(",") if name.strip()]
+    """Parse a comma-separated tool list (the ``--tools`` argument).
+
+    ``all`` (alone or in the list) expands to every registered tool, in
+    catalog order — derived from :data:`TOOL_CATALOG`, so new tools are
+    covered automatically.
+    """
+    names = [name for name in spec.split(",") if name.strip()]
+    if any(n.strip().lower() == "all" for n in names):
+        names = tool_names()
+    return [create_tool(name, outdir) for name in names]

@@ -23,6 +23,7 @@ class MemRecord:
     nbytes: int
     sim_us: float
     current: int  #: per-space footprint after this event
+    rank: int = 0  #: simulated MPI rank that performed the (de)allocation
 
 
 class MemoryEvents(Tool):
@@ -44,7 +45,9 @@ class MemoryEvents(Tool):
         self.hwm[ev.space] = max(self.hwm.get(ev.space, 0), cur)
         self.allocs[ev.space] = self.allocs.get(ev.space, 0) + 1
         self.log.append(
-            MemRecord("alloc", ev.space, ev.label, ev.nbytes, ev.sim_us, cur)
+            MemRecord(
+                "alloc", ev.space, ev.label, ev.nbytes, ev.sim_us, cur, ev.rank
+            )
         )
 
     def deallocate_data(self, ev: MemoryEvent) -> None:
@@ -53,7 +56,9 @@ class MemoryEvents(Tool):
         cur = max(self.current.get(ev.space, 0) - ev.nbytes, 0)
         self.current[ev.space] = cur
         self.log.append(
-            MemRecord("free", ev.space, ev.label, ev.nbytes, ev.sim_us, cur)
+            MemRecord(
+                "free", ev.space, ev.label, ev.nbytes, ev.sim_us, cur, ev.rank
+            )
         )
 
     # -------------------------------------------------------------- queries
@@ -71,11 +76,11 @@ class MemoryEvents(Tool):
             )
         if self.out is not None:
             with open(self.out, "w") as fh:
-                fh.write("# op space label bytes sim_us current_bytes\n")
+                fh.write("# op space label bytes sim_us current_bytes rank\n")
                 for r in self.log:
                     fh.write(
                         f"{r.op} {r.space} {r.label} {r.nbytes} "
-                        f"{r.sim_us:.3f} {r.current}\n"
+                        f"{r.sim_us:.3f} {r.current} {r.rank}\n"
                     )
             lines.append(f"  log: {self.out} ({len(self.log)} events)")
         return "\n".join(lines)

@@ -1,0 +1,546 @@
+"""Measured-performance metrics core: counters, gauges, histograms, timers.
+
+The KokkosP-style registry (:mod:`repro.tools.registry`) charges *modeled*
+simulated-clock time to every dispatch; the ROADMAP's autotuner and
+kernel-fusion items need *measured* wall-clock data keyed by
+(kernel, workload, mode-config).  This module is that substrate:
+
+* :class:`Counter` / :class:`Gauge` / :class:`Histogram` — labelled metric
+  families collected in a :class:`MetricsRegistry`, exported as Prometheus
+  text format (:meth:`MetricsRegistry.to_prometheus`) or JSONL
+  (:meth:`MetricsRegistry.to_jsonl`).
+* Module-level emission helpers (:func:`inc`, :func:`observe`,
+  :func:`set_gauge`) — what instrumented runtime sites call
+  (``kokkos/dual_view.py``, ``core/integrate.py``, ``core/comm_md.py``,
+  ``parallel/comm.py``).  Every helper starts with an ``if not SINKS:``
+  guard, the same falsy-list contract as ``registry.TOOLS``, so an
+  uninstrumented run pays one list check per site and nothing else.
+* :class:`MetricsTool` — a registry :class:`~repro.tools.registry.Tool`
+  that turns the begin/end event stream into per-kernel dispatch counters,
+  modeled-seconds counters, and **wall-clock** histograms, so every
+  dispatch, fence, deep copy, and comm instant records both modeled and
+  real ``perf_counter`` time.
+* :class:`ProfileStore` — persists per-(kernel, workload, mode-config)
+  wall-clock profiles across runs (``profiles.json``), the data the
+  runtime autotuner will consume.
+
+Like the registry, this module imports nothing from the rest of ``repro``
+at import time so any runtime layer can import it without cycles.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.tools.registry import (
+    DeepCopyEvent,
+    FenceEvent,
+    InstantEvent,
+    KernelEvent,
+    MemoryEvent,
+    Tool,
+)
+
+#: Attached metric sinks.  Emission sites guard with ``if metrics.SINKS:`` —
+#: mutated in place so the identity check stays valid everywhere.
+SINKS: list["MetricsRegistry"] = []
+
+#: default wall-clock histogram buckets, seconds (log-spaced 1 us .. 10 s)
+WALL_BUCKETS: tuple[float, ...] = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0,
+)
+
+
+def _label_key(labels: dict[str, str]) -> tuple[tuple[str, str], ...]:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+# ------------------------------------------------------------------ families
+@dataclass
+class Counter:
+    """Monotonically increasing sum per label set."""
+
+    name: str
+    help: str = ""
+    values: dict[tuple, float] = field(default_factory=dict)
+
+    kind = "counter"
+
+    def inc(self, value: float = 1.0, **labels) -> None:
+        key = _label_key(labels)
+        self.values[key] = self.values.get(key, 0.0) + value
+
+    def get(self, **labels) -> float:
+        return self.values.get(_label_key(labels), 0.0)
+
+
+@dataclass
+class Gauge:
+    """Last-write-wins value per label set."""
+
+    name: str
+    help: str = ""
+    values: dict[tuple, float] = field(default_factory=dict)
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels) -> None:
+        self.values[_label_key(labels)] = float(value)
+
+    def get(self, **labels) -> float:
+        return self.values.get(_label_key(labels), 0.0)
+
+
+@dataclass
+class HistogramSeries:
+    """One label set's observations: bucket counts + sum + count + min/max."""
+
+    bucket_counts: list[int]
+    total: float = 0.0
+    count: int = 0
+    vmin: float = math.inf
+    vmax: float = -math.inf
+
+    def observe(self, value: float, buckets: tuple[float, ...]) -> None:
+        for i, bound in enumerate(buckets):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                break
+        else:
+            self.bucket_counts[-1] += 1  # +Inf bucket
+        self.total += value
+        self.count += 1
+        self.vmin = min(self.vmin, value)
+        self.vmax = max(self.vmax, value)
+
+
+@dataclass
+class Histogram:
+    """Bucketed observations per label set (Prometheus cumulative export)."""
+
+    name: str
+    help: str = ""
+    buckets: tuple[float, ...] = WALL_BUCKETS
+    values: dict[tuple, HistogramSeries] = field(default_factory=dict)
+
+    kind = "histogram"
+
+    def observe(self, value: float, **labels) -> None:
+        key = _label_key(labels)
+        series = self.values.get(key)
+        if series is None:
+            # one extra slot is the +Inf bucket
+            series = self.values[key] = HistogramSeries(
+                bucket_counts=[0] * (len(self.buckets) + 1)
+            )
+        series.observe(value, self.buckets)
+
+    def series(self, **labels) -> HistogramSeries | None:
+        return self.values.get(_label_key(labels))
+
+
+# ------------------------------------------------------------------ registry
+class MetricsRegistry:
+    """A namespace of metric families with exporters."""
+
+    def __init__(self) -> None:
+        self.families: dict[str, Counter | Gauge | Histogram] = {}
+
+    # ----------------------------------------------------------- factories
+    def _family(self, cls, name: str, help: str, **kw):
+        fam = self.families.get(name)
+        if fam is None:
+            fam = self.families[name] = cls(name=name, help=help, **kw)
+        elif not isinstance(fam, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as {fam.kind}, "
+                f"not {cls.kind}"
+            )
+        return fam
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._family(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._family(Gauge, name, help)
+
+    def histogram(
+        self, name: str, help: str = "", buckets: tuple[float, ...] = WALL_BUCKETS
+    ) -> Histogram:
+        return self._family(Histogram, name, help, buckets=buckets)
+
+    # ----------------------------------------------------------- exporters
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format (0.0.4)."""
+        lines: list[str] = []
+        for name in sorted(self.families):
+            fam = self.families[name]
+            if fam.help:
+                lines.append(f"# HELP {name} {fam.help}")
+            lines.append(f"# TYPE {name} {fam.kind}")
+            if isinstance(fam, Histogram):
+                for key, series in sorted(fam.values.items()):
+                    cum = 0
+                    for bound, n in zip(
+                        list(fam.buckets) + ["+Inf"], series.bucket_counts
+                    ):
+                        cum += n
+                        le = bound if bound == "+Inf" else repr(bound)
+                        lines.append(
+                            f"{name}_bucket{_prom_labels(key, le=le)} {cum}"
+                        )
+                    lines.append(f"{name}_sum{_prom_labels(key)} {series.total}")
+                    lines.append(f"{name}_count{_prom_labels(key)} {series.count}")
+            else:
+                for key, value in sorted(fam.values.items()):
+                    lines.append(f"{name}{_prom_labels(key)} {value}")
+        return "\n".join(lines) + "\n"
+
+    def to_jsonl(self) -> str:
+        """One JSON object per sample (counters/gauges) or series (histograms)."""
+        out: list[str] = []
+        for name in sorted(self.families):
+            fam = self.families[name]
+            if isinstance(fam, Histogram):
+                for key, series in sorted(fam.values.items()):
+                    out.append(json.dumps({
+                        "name": name,
+                        "type": fam.kind,
+                        "labels": dict(key),
+                        "count": series.count,
+                        "sum": series.total,
+                        "min": None if series.count == 0 else series.vmin,
+                        "max": None if series.count == 0 else series.vmax,
+                        "buckets": {
+                            repr(b): n
+                            for b, n in zip(fam.buckets, series.bucket_counts)
+                        },
+                        "overflow": series.bucket_counts[-1],
+                    }))
+            else:
+                for key, value in sorted(fam.values.items()):
+                    out.append(json.dumps({
+                        "name": name,
+                        "type": fam.kind,
+                        "labels": dict(key),
+                        "value": value,
+                    }))
+        return "\n".join(out) + ("\n" if out else "")
+
+
+def _prom_labels(key: tuple, **extra) -> str:
+    items = list(key) + sorted(extra.items())
+    if not items:
+        return ""
+    body = ",".join(f'{k}="{v}"' for k, v in items)
+    return "{" + body + "}"
+
+
+# -------------------------------------------------------- sink lifecycle
+def attach_sink(sink: MetricsRegistry) -> MetricsRegistry:
+    """Attach a sink; instrumented sites start recording into it."""
+    SINKS.append(sink)
+    return sink
+
+
+def detach_sink(sink: MetricsRegistry) -> None:
+    if sink in SINKS:
+        SINKS.remove(sink)
+
+
+# ---------------------------------------------------------------- emission
+def inc(name: str, value: float = 1.0, *, help: str = "", **labels) -> None:
+    """Increment ``name`` in every attached sink (no-op when none)."""
+    if not SINKS:
+        return
+    for sink in SINKS:
+        sink.counter(name, help).inc(value, **labels)
+
+
+def set_gauge(name: str, value: float, *, help: str = "", **labels) -> None:
+    if not SINKS:
+        return
+    for sink in SINKS:
+        sink.gauge(name, help).set(value, **labels)
+
+
+def observe(name: str, value: float, *, help: str = "", **labels) -> None:
+    if not SINKS:
+        return
+    for sink in SINKS:
+        sink.histogram(name, help).observe(value, **labels)
+
+
+# -------------------------------------------------------------- mode config
+def mode_config() -> dict[str, str]:
+    """The active mode-registry switches, as a flat string dict.
+
+    This is the config axis of the (kernel, workload, config) profile key:
+    the explicit mode switches the ROADMAP's autotuner will search over.
+    Imported lazily — this is the one place the metrics core reaches into
+    the rest of ``repro``, and only when a sink actually asks.
+    """
+    from repro.core.neighbor import stencil_mode
+    from repro.kokkos.core import device_context, is_initialized
+    from repro.kokkos.segment import scatter_mode
+
+    device = "uninitialized"
+    if is_initialized():
+        ctx = device_context()
+        device = "host" if ctx.host_only else ctx.gpu.name
+    return {
+        "device": device,
+        "scatter": scatter_mode(),
+        "stencil": stencil_mode(),
+    }
+
+
+def config_key(config: dict[str, str] | None = None) -> str:
+    """Canonical string form of a mode config (stable dict-key ordering)."""
+    config = mode_config() if config is None else config
+    return ",".join(f"{k}={v}" for k, v in sorted(config.items()))
+
+
+# ------------------------------------------------------------ profile store
+class ProfileStore:
+    """Reusable per-(kernel, workload, mode-config) wall-clock profiles.
+
+    File layout (``profiles.json``)::
+
+        {"schema_version": 1,
+         "profiles": {workload: {config_key: {kernel: {
+             "wall_seconds": total, "sim_seconds": total,
+             "count": dispatches, "runs": merge_count}}}}}
+
+    ``update`` merges a run's totals in (accumulating counts, keeping the
+    best observed mean); the autotuner reads ``best_config`` to pick the
+    fastest recorded mode config for a (workload, kernel).
+    """
+
+    SCHEMA_VERSION = 1
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.data: dict[str, Any] = {
+            "schema_version": self.SCHEMA_VERSION,
+            "profiles": {},
+        }
+        if os.path.exists(path):
+            try:
+                with open(path) as fh:
+                    loaded = json.load(fh)
+                if loaded.get("schema_version") == self.SCHEMA_VERSION:
+                    self.data = loaded
+            except (OSError, json.JSONDecodeError):
+                pass  # corrupt store: start fresh rather than crash the run
+
+    # ------------------------------------------------------------- updates
+    def update(
+        self,
+        workload: str,
+        config: dict[str, str],
+        kernels: dict[str, dict[str, float]],
+    ) -> None:
+        """Merge one run's per-kernel totals under (workload, config)."""
+        slot = (
+            self.data["profiles"]
+            .setdefault(workload, {})
+            .setdefault(config_key(config), {})
+        )
+        for kernel, row in kernels.items():
+            cur = slot.get(kernel)
+            if cur is None:
+                slot[kernel] = dict(row, runs=1)
+            else:
+                cur["wall_seconds"] += row["wall_seconds"]
+                cur["sim_seconds"] += row.get("sim_seconds", 0.0)
+                cur["count"] += row["count"]
+                cur["runs"] += 1
+
+    def save(self) -> None:
+        with open(self.path, "w") as fh:
+            json.dump(self.data, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    # ------------------------------------------------------------- queries
+    def kernels(self, workload: str, config: dict[str, str] | None = None) -> dict:
+        return self.data["profiles"].get(workload, {}).get(config_key(config), {})
+
+    def mean_wall(self, workload: str, kernel: str, config=None) -> float | None:
+        row = self.kernels(workload, config).get(kernel)
+        if not row or not row["count"]:
+            return None
+        return row["wall_seconds"] / row["count"]
+
+    def best_config(self, workload: str, kernel: str) -> tuple[str, float] | None:
+        """(config_key, mean wall seconds) of the fastest recorded config."""
+        best: tuple[str, float] | None = None
+        for ckey, kernels in self.data["profiles"].get(workload, {}).items():
+            row = kernels.get(kernel)
+            if not row or not row["count"]:
+                continue
+            mean = row["wall_seconds"] / row["count"]
+            if best is None or mean < best[1]:
+                best = (ckey, mean)
+        return best
+
+
+# ----------------------------------------------------------------- the tool
+class MetricsTool(Tool):
+    """Bridge the KokkosP event stream into a :class:`MetricsRegistry`.
+
+    Every dispatch records a ``kernel_dispatch_total`` count, a
+    ``kernel_sim_seconds_total`` modeled-time counter, and a
+    ``kernel_wall_seconds`` wall-clock histogram — both clocks, per kernel.
+    Deep copies, fences, allocations, and charged comm instants land in
+    their own families.  At finalize the registry is written as
+    ``metrics.prom`` + ``metrics.jsonl`` under ``out`` (when given) and the
+    per-kernel wall totals are merged into the :class:`ProfileStore`.
+    """
+
+    name = "metrics"
+
+    #: filenames written under the output directory
+    PROM_FILE = "metrics.prom"
+    JSONL_FILE = "metrics.jsonl"
+    PROFILES_FILE = "profiles.json"
+
+    def __init__(
+        self,
+        out: str | None = None,
+        *,
+        workload: str = "run",
+        registry: MetricsRegistry | None = None,
+        store: ProfileStore | None = None,
+    ) -> None:
+        self.out = out
+        self.workload = workload
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.store = store
+        attach_sink(self.registry)
+        r = self.registry
+        self.dispatches = r.counter(
+            "kernel_dispatch_total", "parallel_* dispatches by kernel"
+        )
+        self.sim_seconds = r.counter(
+            "kernel_sim_seconds_total", "modeled seconds charged by kernel"
+        )
+        self.wall = r.histogram(
+            "kernel_wall_seconds", "measured wall seconds per dispatch"
+        )
+        self.fences = r.counter("fence_total", "fence events by name")
+        self.copies = r.counter("deep_copy_total", "deep copies by route")
+        self.copy_bytes = r.counter("deep_copy_bytes_total", "deep-copied bytes")
+        self.mem_current = r.gauge(
+            "memory_current_bytes", "live allocation bytes per space"
+        )
+        self.instants = r.counter(
+            "profile_event_total", "profile_event instants by name"
+        )
+        self.instant_seconds = r.counter(
+            "profile_event_sim_seconds_total", "modeled seconds charged by instants"
+        )
+
+    # ------------------------------------------------------------- kernels
+    def _end_kernel(self, ev: KernelEvent) -> None:
+        self.dispatches.inc(kernel=ev.name, space=ev.space, kind=ev.kind)
+        self.sim_seconds.inc(ev.sim_seconds, kernel=ev.name)
+        self.wall.observe(ev.wall_seconds, kernel=ev.name)
+
+    end_parallel_for = _end_kernel
+    end_parallel_reduce = _end_kernel
+    end_parallel_scan = _end_kernel
+
+    # ------------------------------------------------------- fences/copies
+    def end_fence(self, ev: FenceEvent) -> None:
+        self.fences.inc(name=ev.name)
+
+    def end_deep_copy(self, ev: DeepCopyEvent) -> None:
+        route = f"{ev.src_space}->{ev.dst_space}"
+        self.copies.inc(route=route)
+        self.copy_bytes.inc(ev.nbytes, route=route)
+
+    # -------------------------------------------------------------- memory
+    def allocate_data(self, ev: MemoryEvent) -> None:
+        self.mem_current.set(
+            self.mem_current.get(space=ev.space) + ev.nbytes, space=ev.space
+        )
+
+    def deallocate_data(self, ev: MemoryEvent) -> None:
+        self.mem_current.set(
+            max(self.mem_current.get(space=ev.space) - ev.nbytes, 0.0),
+            space=ev.space,
+        )
+
+    # ------------------------------------------------------------ instants
+    def profile_event(self, ev: InstantEvent) -> None:
+        self.instants.inc(name=ev.name)
+        if ev.sim_seconds:
+            self.instant_seconds.inc(ev.sim_seconds, name=ev.name)
+
+    # ------------------------------------------------------------- queries
+    def kernel_totals(self) -> dict[str, dict[str, float]]:
+        """Per-kernel {wall_seconds, sim_seconds, count} over all dispatches.
+
+        Counts come from the dispatch counter (summed over space/kind label
+        sets), wall totals from the histogram sums — the numbers the
+        reconciliation test holds against the space-time-stack.
+        """
+        totals: dict[str, dict[str, float]] = {}
+        for key, n in self.dispatches.values.items():
+            kernel = dict(key)["kernel"]
+            row = totals.setdefault(
+                kernel, {"wall_seconds": 0.0, "sim_seconds": 0.0, "count": 0}
+            )
+            row["count"] += int(n)
+        for key, series in self.wall.values.items():
+            kernel = dict(key)["kernel"]
+            totals.setdefault(
+                kernel, {"wall_seconds": 0.0, "sim_seconds": 0.0, "count": 0}
+            )["wall_seconds"] += series.total
+        for key, s in self.sim_seconds.values.items():
+            kernel = dict(key)["kernel"]
+            totals.setdefault(
+                kernel, {"wall_seconds": 0.0, "sim_seconds": 0.0, "count": 0}
+            )["sim_seconds"] += s
+        return totals
+
+    # -------------------------------------------------------------- output
+    def finalize(self) -> str:
+        detach_sink(self.registry)
+        lines = ["", "=" * 72, "metrics", "=" * 72]
+        totals = self.kernel_totals()
+        ndisp = int(sum(row["count"] for row in totals.values()))
+        lines.append(
+            f"  {len(self.registry.families)} families, "
+            f"{len(totals)} kernels, {ndisp} dispatches"
+        )
+        top = sorted(totals.items(), key=lambda kv: -kv[1]["wall_seconds"])[:5]
+        for name, row in top:
+            mean = row["wall_seconds"] / max(row["count"], 1)
+            lines.append(
+                f"  {name:<32} {row['wall_seconds']:10.6f} s wall "
+                f"({int(row['count'])}x, {mean * 1e6:9.1f} us/dispatch)"
+            )
+        store = self.store
+        if self.out is not None:
+            os.makedirs(self.out, exist_ok=True)
+            prom = os.path.join(self.out, self.PROM_FILE)
+            jsonl = os.path.join(self.out, self.JSONL_FILE)
+            with open(prom, "w") as fh:
+                fh.write(self.registry.to_prometheus())
+            with open(jsonl, "w") as fh:
+                fh.write(self.registry.to_jsonl())
+            lines.append(f"  prometheus: {prom}")
+            lines.append(f"  jsonl:      {jsonl}")
+            if store is None:
+                store = ProfileStore(os.path.join(self.out, self.PROFILES_FILE))
+        if store is not None and totals:
+            store.update(self.workload, mode_config(), totals)
+            store.save()
+            lines.append(f"  profiles:   {store.path} (workload {self.workload!r})")
+        return "\n".join(lines)

@@ -55,6 +55,9 @@ class KernelEvent:
     kid: int  #: unique dispatch id (KokkosP's kernel id)
     sim_us: float  #: simulated-clock timestamp at begin, microseconds
     wall_us: float
+    #: policy parallelism (work items) — lets metrics key wall-clock
+    #: profiles by workload size, not just kernel name
+    work_items: float = 0.0
     #: filled in by the end event:
     sim_seconds: float = 0.0
     wall_seconds: float = 0.0
@@ -274,7 +277,9 @@ _END = {
 }
 
 
-def begin_kernel(kind: str, name: str, space: str) -> int | None:
+def begin_kernel(
+    kind: str, name: str, space: str, work_items: float = 0.0
+) -> int | None:
     """Fire ``begin_parallel_*``; returns the kernel id for the end call."""
     if not TOOLS:
         return None
@@ -286,6 +291,7 @@ def begin_kernel(kind: str, name: str, space: str) -> int | None:
         kid=CHAIN.new_id(),
         sim_us=CHAIN.sim_now() * 1e6,
         wall_us=CHAIN.wall_now() * 1e6,
+        work_items=work_items,
     )
     CHAIN._open_kernels[ev.kid] = ev
     CHAIN.dispatch(_BEGIN[kind], ev)
