@@ -1,0 +1,66 @@
+"""Wall-clock autotune acceptance: tuned config ≥ best hand-picked modes.
+
+Times the melt force step under each hand-picked scatter mode, then lets
+the runtime autotuner (:mod:`repro.tune`) search the full mode space and
+times the step under its locked-in winner.  The tuned step must be at
+least as fast as the best hand-picked mode within the sentinel noise band
+``max(rel_floor, z * cv)`` — the tuner is allowed to tie, never to lose.
+Results land in ``BENCH_autotune.json`` at the repo root; the file
+declares ``"benchmark": "hotpath"`` so the CI sentinel can also gate its
+atomic/segmented columns against the committed BENCH_hotpath.json.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+from conftest import emit
+
+from repro.bench.autotune import TUNED, format_autotune_report, run_autotune_bench
+from repro.bench.sentinel import REL_FLOOR, Z_SCORE
+from repro.bench.stats import validate_bench
+from repro.kokkos.segment import ATOMIC, SEGMENTED
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_autotune.json"
+
+
+@pytest.fixture(scope="module")
+def autotune():
+    return run_autotune_bench(out_path=str(BENCH_JSON), quiet=True)
+
+
+def _cv(stats: dict) -> float:
+    return stats["stdev"] / stats["median"] if stats["median"] > 0 else 0.0
+
+
+def test_tuned_at_least_best_hand_picked(autotune):
+    melt = autotune["workloads"][0]
+    step, stats = melt["step_seconds"], melt["step_stats"]
+    best_mode = min((ATOMIC, SEGMENTED), key=lambda m: step[m])
+    band = max(REL_FLOOR, Z_SCORE * max(_cv(stats[TUNED]), _cv(stats[best_mode])))
+    assert step[TUNED] <= step[best_mode] * (1.0 + band), (
+        f"tuned step {step[TUNED] * 1e3:.3f} ms lost to hand-picked "
+        f"{best_mode} {step[best_mode] * 1e3:.3f} ms beyond the "
+        f"{band:.0%} noise band"
+    )
+
+
+def test_tuned_config_recorded(autotune):
+    melt = autotune["workloads"][0]
+    cfg = melt["tuned_config"]
+    assert cfg["scatter"] in (ATOMIC, SEGMENTED)
+    assert (cfg["neigh"], cfg["newton"]) != ("full", "on")
+    assert melt["tuned_label"]
+    assert melt["tune_probes"] > 0
+
+
+def test_bench_json_recorded(autotune):
+    assert BENCH_JSON.exists()
+    validate_bench(autotune)
+    melt = autotune["workloads"][0]
+    assert set(melt["step_seconds"]) == {ATOMIC, SEGMENTED, TUNED}
+    # sentinel comparability against the committed hotpath baseline
+    assert autotune["benchmark"] == "hotpath"
+    assert autotune["variant"] == "autotune"
+    emit(format_autotune_report(autotune))

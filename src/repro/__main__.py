@@ -10,6 +10,7 @@ Mirrors the LAMMPS binary's common flags::
     python -m repro --bench hotpath                  # refresh BENCH_hotpath.json
     python -m repro -in melt.in --tools space-time-stack,chrome-trace --tool-out out/
     python -m repro -in melt.in --metrics-out out/   # Prometheus + JSONL metrics
+    python -m repro -in melt.in --autotune           # tune mode switches at run start
     python -m repro --analyze-trace out/trace.json   # offline trace analytics
     python -m repro --sentinel BENCH_hotpath.json baselines/BENCH_hotpath.json
 
@@ -75,6 +76,20 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the sentinel verdict JSON to FILE")
     p.add_argument("--rel-floor", type=float, default=None,
                    help="sentinel relative noise floor (default 0.35)")
+    p.add_argument("--autotune", nargs="?", const="wall", default=None,
+                   choices=("wall", "model"), metavar="MEASURE",
+                   help="autotune mode switches before the first run "
+                   "(wall-clock micro-benchmarks, or the deterministic "
+                   "hardware cost model); winners persist to --tune-plan")
+    p.add_argument("--tune-plan", default="tuned_plan.json", metavar="FILE",
+                   help="tuned-plan file keyed (workload, arch, kernel); "
+                   "'none' disables persistence (default: tuned_plan.json)")
+    p.add_argument("--tune-repeats", type=int, default=3, metavar="N",
+                   help="interleaved measurement rounds per candidate "
+                   "config (default 3)")
+    p.add_argument("--tune-seed", type=int, default=0, metavar="N",
+                   help="seed for the interleaving order of the autotune "
+                   "search (default 0)")
     p.add_argument("-k", "--kokkos", nargs="*", default=None, metavar="ARG",
                    help="'on [gpu <name>]' enables the simulated device "
                    "(default H100); 'off' forces a pure-host build")
@@ -163,6 +178,21 @@ def main(argv: list[str] | None = None) -> int:
             )
         else:
             target = Lammps(device=device, suffix=args.suffix, quiet=args.quiet)
+
+        if args.autotune is not None:
+            import os
+
+            from repro.tune import Autotuner
+
+            workload = os.path.splitext(os.path.basename(args.script))[0]
+            target.autotuner = Autotuner(
+                measure=args.autotune,
+                repeats=args.tune_repeats,
+                seed=args.tune_seed,
+                plan_path=None if args.tune_plan == "none" else args.tune_plan,
+                workload=workload,
+                quiet=args.quiet,
+            )
 
         for name, value in args.var:
             target.commands_string(f"variable {name} equal {value}")

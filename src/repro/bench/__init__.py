@@ -25,6 +25,7 @@ from repro.bench.scaling import (
     interior_fraction,
     strong_scaling_curve,
 )
+from repro.bench.autotune import format_autotune_report, run_autotune_bench
 from repro.bench.hotpath import format_hotpath_report, run_hotpath_bench
 from repro.bench.neighbor import (
     format_neighbor_report,
@@ -59,6 +60,8 @@ __all__ = [
     "format_series",
     "run_hotpath_bench",
     "format_hotpath_report",
+    "run_autotune_bench",
+    "format_autotune_report",
     "run_neighbor_bench",
     "format_neighbor_report",
     "validate_neighbor_bench",

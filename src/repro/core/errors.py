@@ -29,3 +29,20 @@ class CommError(LammpsError):
 
 class OverflowGuardError(LammpsError):
     """A data structure exceeded its index type's range (appendix B)."""
+
+
+def unknown_choice(kind, got, choices, *, extra=""):
+    """Error text for a bad name from a closed set, with a did-you-mean hint.
+
+    Shared by the mode setters (scatter/stencil), the autotuner, and the
+    ``--tools`` factory so every "unknown X" message reads the same way:
+    the offending name, the closest registered match, and the full choice
+    list.  ``extra`` is appended verbatim after the list.
+    """
+    import difflib
+
+    names = [str(c) for c in choices]
+    close = difflib.get_close_matches(str(got), names, n=1)
+    hint = f" (did you mean {close[0]!r}?)" if close else ""
+    return (f"unknown {kind} {got!r}{hint}; "
+            f"expected one of: {', '.join(names)}{extra}")

@@ -137,9 +137,13 @@ class Input:
         ``pair/only <on|off>`` (appendix C's "reverse offload": with
         pair/only, non-pair kernels stay on the host).
         """
-        self._need(args, 1, "package kokkos [options]")
+        self._need(args, 1, "package <kokkos|autotune> [options]")
+        if args[0] == "autotune":
+            self._package_autotune(args[1:])
+            return
         if args[0] != "kokkos":
-            raise InputError("only 'package kokkos' is supported")
+            raise InputError("only 'package kokkos' and 'package autotune' "
+                             "are supported")
         it = iter(args[1:])
         for key in it:
             val = next(it, None)
@@ -159,6 +163,49 @@ class Input:
                 self.lmp.package_kokkos["pair_only"] = val == "on"
             else:
                 raise InputError(f"package kokkos: unknown option {key!r}")
+
+    def _package_autotune(self, args: list[str]) -> None:
+        """``package autotune on|off [options]`` (the runtime autotuner).
+
+        Options after ``on``: ``measure <wall|model>``, ``plan <FILE>``
+        (``none`` disables persistence), ``repeats <N>``, ``seed <N>``,
+        ``workload <NAME>``.  The search itself runs at the next ``run``
+        command, before any timestep (:mod:`repro.tune`).
+        """
+        if not args or args[0] not in ("on", "off"):
+            raise InputError("usage: package autotune <on|off> [options]")
+        if args[0] == "off":
+            self.lmp.autotune_request = None
+            self.lmp.autotuner = None
+            return
+        request: dict = {"workload": "run", "quiet": self.lmp.thermo.quiet}
+        it = iter(args[1:])
+        for key in it:
+            val = next(it, None)
+            if val is None:
+                raise InputError(f"package autotune: {key} needs a value")
+            if key == "measure":
+                request["measure"] = val
+            elif key == "plan":
+                request["plan_path"] = None if val == "none" else val
+            elif key == "repeats":
+                request["repeats"] = int(val)
+            elif key == "seed":
+                request["seed"] = int(val)
+            elif key == "workload":
+                request["workload"] = val
+            else:
+                raise InputError(f"package autotune: unknown option {key!r}")
+        # validate the measure now, at parse time, with the did-you-mean text
+        if "measure" in request:
+            from repro.core.errors import unknown_choice
+            from repro.tune.autotuner import MEASURES
+
+            if request["measure"] not in MEASURES:
+                raise InputError(
+                    unknown_choice("autotune measure", request["measure"], MEASURES)
+                )
+        self.lmp.autotune_request = request
 
     def cmd_timestep(self, args: list[str]) -> None:
         self._need(args, 1, "timestep <dt>")

@@ -105,6 +105,13 @@ class Lammps:
         self.last_minimize = None
         #: `package kokkos` tuning knobs (applied at pair init)
         self.package_kokkos: dict = {}
+        #: Runtime autotuner (``package autotune on`` / ``--autotune``):
+        #: either an Autotuner instance, or an option dict built lazily into
+        #: one on the first run.  Fires once, before any timestep.
+        self.autotuner = None
+        self.autotune_request: dict | None = None
+        #: Compact winning-config label (the thermo ``tune`` column).
+        self.tune_label: str | None = None
         self.last_run_stats: dict = {}
         self.natoms_total = 0
         self._internal_computes: dict[str, Compute] = {}
@@ -423,6 +430,8 @@ class Lammps:
             raise LammpsError("multi-rank runs must go through Ensemble.run")
         import time
 
+        # before the clocks start, so search probes don't count as run time
+        _maybe_autotune(self)
         ctx = kk.device_context()
         sim0 = ctx.timeline.total()
         comm0 = self.world.ledger.total()
@@ -492,6 +501,26 @@ class Lammps:
         return self.last_minimize
 
 
+def _maybe_autotune(target) -> None:
+    """Run the attached autotuner once, before the first timestep.
+
+    ``target`` is a Lammps instance or an Ensemble.  A pending option dict
+    (``package autotune on``) is built into an Autotuner lazily here so the
+    command itself needs no tune-package import.
+    """
+    tuner = getattr(target, "autotuner", None)
+    ranks = target.ranks if hasattr(target, "ranks") else [target]
+    if tuner is None and ranks[0].autotune_request is not None:
+        from repro.tune import Autotuner
+
+        tuner = target.autotuner = Autotuner(**ranks[0].autotune_request)
+        for lmp in ranks:
+            lmp.autotune_request = None
+    if tuner is None or tuner.tuned:
+        return
+    tuner.tune(target)
+
+
 class Ensemble:
     """N-rank simulation: broadcasts commands, runs ranks in lockstep."""
 
@@ -516,6 +545,9 @@ class Ensemble:
         # only the root rank speaks, as in MPI runs
         for lmp in self.ranks[1:]:
             lmp.thermo.quiet = True
+        #: Runtime autotuner for the whole ensemble (see Lammps.autotuner);
+        #: a per-rank ``package autotune`` request is adopted at first run.
+        self.autotuner = None
 
     def command(self, line: str) -> None:
         tokens = line.split("#", 1)[0].split()
@@ -545,6 +577,7 @@ class Ensemble:
             lmp._finish_velocity()
 
     def run(self, nsteps: int) -> None:
+        _maybe_autotune(self)
         for lmp in self.ranks:
             lmp.overlap_steps = 0
             lmp.timer.reset()

@@ -58,20 +58,31 @@ def stencil_mode() -> str:
     return _forced_stencil if _forced_stencil is not None else SHARED
 
 
+def set_stencil_mode(mode: str | None) -> str | None:
+    """Install (or clear, with None) the global build-mode override.
+
+    Returns the previous override.  Unknown names fail here with a
+    did-you-mean hint instead of surfacing later in the build; the autotuner
+    uses this non-scoped form to lock in a winner for the rest of a run.
+    """
+    global _forced_stencil
+    if mode is not None and mode not in _STENCIL_MODES:
+        from repro.core.errors import unknown_choice
+
+        raise NeighborError(unknown_choice("stencil mode", mode, _STENCIL_MODES))
+    prev = _forced_stencil
+    _forced_stencil = mode
+    return prev
+
+
 @contextmanager
 def force_stencil_mode(mode: str | None) -> Iterator[None]:
     """Pin the neighbor build mode globally (None restores the default)."""
-    global _forced_stencil
-    if mode is not None and mode not in _STENCIL_MODES:
-        raise NeighborError(
-            f"unknown stencil mode {mode!r}; expected one of {_STENCIL_MODES}"
-        )
-    prev = _forced_stencil
-    _forced_stencil = mode
+    prev = set_stencil_mode(mode)
     try:
         yield
     finally:
-        _forced_stencil = prev
+        set_stencil_mode(prev)
 
 
 @dataclass

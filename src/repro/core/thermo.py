@@ -17,9 +17,10 @@ import numpy as np
 @dataclass
 class ThermoRecord:
     step: int
-    values: dict[str, float]
+    #: column -> value; floats except the autotuner's "tune" label column
+    values: dict[str, float | str]
 
-    def __getitem__(self, key: str) -> float:
+    def __getitem__(self, key: str) -> float | str:
         return self.values[key]
 
 
@@ -71,6 +72,9 @@ class Thermo:
             values["press"] = lmp.internal_compute("pressure").finalize(
                 partials["pressure"]
             )
+        if "tune" in self.columns:
+            # the autotuner's locked-in config label (a string column)
+            values["tune"] = lmp.tune_label or "-"
         self.history.append(ThermoRecord(step=step, values=values))
         if lmp.comm_rank == 0 and not self.quiet:
             self._print_row(step, values)
@@ -79,7 +83,10 @@ class Thermo:
         if not self._header_done:
             print("Step " + " ".join(f"{c:>14}" for c in self.columns))
             self._header_done = True
-        cells = " ".join(f"{values.get(c, float('nan')):>14.6g}" for c in self.columns)
+        cells = " ".join(
+            f"{v:>14}" if isinstance(v, str) else f"{v:>14.6g}"
+            for v in (values.get(c, float("nan")) for c in self.columns)
+        )
         print(f"{step:>4d} {cells}")
 
     def reset(self) -> None:

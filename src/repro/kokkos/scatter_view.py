@@ -59,7 +59,17 @@ class ScatterView:
         contribution: str | None = None,
     ) -> None:
         if strategy is None:
-            strategy = default_strategy(target.space)
+            # A globally forced contribution mode also steers the strategy,
+            # so pinning "atomic" models the GPU cost profile (atomic_adds
+            # charged) and "segmented" the CPU duplication profile — that is
+            # what lets the autotuner's cost-model measure rank the two.
+            forced = forced_scatter_mode()
+            if forced == CONTRIB_ATOMIC:
+                strategy = ATOMIC
+            elif forced == CONTRIB_SEGMENTED:
+                strategy = DUPLICATED
+            else:
+                strategy = default_strategy(target.space)
         if strategy not in _STRATEGIES:
             raise ValueError(
                 f"unknown ScatterView strategy {strategy!r}; "

@@ -57,18 +57,31 @@ def forced_scatter_mode() -> str | None:
     return _forced_mode
 
 
+def set_scatter_mode(mode: str | None) -> str | None:
+    """Install (or clear, with None) the global mode override; return the old.
+
+    Unknown names fail here, at the setter, with a did-you-mean hint — not
+    later inside a dispatch.  This is the non-scoped form the autotuner uses
+    to lock in a winner for the rest of a run.
+    """
+    global _forced_mode
+    if mode is not None and mode not in _MODES:
+        from repro.core.errors import unknown_choice
+
+        raise ValueError(unknown_choice("scatter mode", mode, _MODES))
+    prev = _forced_mode
+    _forced_mode = mode
+    return prev
+
+
 @contextmanager
 def force_scatter_mode(mode: str | None) -> Iterator[None]:
     """Pin the contribution mode globally (None restores per-space choice)."""
-    global _forced_mode
-    if mode is not None and mode not in _MODES:
-        raise ValueError(f"unknown scatter mode {mode!r}; expected one of {_MODES}")
-    prev = _forced_mode
-    _forced_mode = mode
+    prev = set_scatter_mode(mode)
     try:
         yield
     finally:
-        _forced_mode = prev
+        set_scatter_mode(prev)
 
 
 # ----------------------------------------------------------------- reductions

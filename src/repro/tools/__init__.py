@@ -66,14 +66,10 @@ def create_tool(name: str, outdir: str | None = None) -> Tool:
     """Instantiate one built-in tool by its CLI name."""
     key = name.strip().lower().replace("_", "-")
     if key not in TOOL_CATALOG:
-        import difflib
+        from repro.core.errors import unknown_choice
 
-        close = difflib.get_close_matches(key, tool_names(), n=1)
-        hint = f" (did you mean {close[0]!r}?)" if close else ""
-        raise ValueError(
-            f"unknown tool {name!r}{hint}; registered tools: "
-            f"{', '.join(tool_names())} — or 'all' for every one"
-        )
+        raise ValueError(unknown_choice(
+            "tool", name, tool_names(), extra=" — or 'all' for every one"))
     module_name, cls_name, takes_out = TOOL_CATALOG[key]
     import importlib
 

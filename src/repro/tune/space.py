@@ -1,0 +1,180 @@
+"""The autotuner's configuration space over the mode registry.
+
+Every global or per-rank switch the codebase exposes is described here as a
+*dimension* of a config dict (string-valued, JSON-friendly):
+
+* ``scatter``  — ScatterView contribution mode (``atomic``/``segmented``),
+  the global override in :mod:`repro.kokkos.segment`.
+* ``stencil``  — neighbor build mode (``shared``/``legacy``),
+  the global override in :mod:`repro.core.neighbor`.
+* ``neigh`` + ``newton`` — list style and Newton's-third-law handling, the
+  ``package kokkos neigh/newton`` axes of the paper's section 4.1 study.
+  These are a *joint* dimension because full lists require newton off.
+* ``sort``     — spatial atom-sort interval (``atom_modify sort``).
+* ``overlap``  — halo-exchange/compute overlap (ensembles only).
+
+:func:`enumerate_pair_configs` / :func:`enumerate_neighbor_configs` produce
+the candidate cells the tuner measures for each kernel;
+:func:`apply_config` installs any (partial) config on a Lammps instance or
+Ensemble; :func:`snapshot_config` reads the currently-active cell back so
+the search can treat it as the baseline that a challenger must beat by more
+than the noise band.
+"""
+
+from __future__ import annotations
+
+from repro.core.neighbor import LEGACY, SHARED, set_stencil_mode, stencil_mode
+from repro.kokkos.segment import (
+    ATOMIC,
+    SEGMENTED,
+    forced_scatter_mode,
+    scatter_mode,
+    set_scatter_mode,
+)
+
+#: Dimension names (the keys of a tune-config dict).
+SCATTER = "scatter"
+STENCIL = "stencil"
+NEIGH = "neigh"
+NEWTON = "newton"
+SORT = "sort"
+OVERLAP = "overlap"
+ALL_KEYS = (SCATTER, STENCIL, NEIGH, NEWTON, SORT, OVERLAP)
+
+#: Kernels the tuner measures independently.
+PAIR_KERNEL = "pair_force"
+NEIGHBOR_KERNEL = "neighbor_build"
+KERNELS = (PAIR_KERNEL, NEIGHBOR_KERNEL)
+
+_ABBREV = {ATOMIC: "at", SEGMENTED: "sg", SHARED: "sh", LEGACY: "lg"}
+
+
+def ranks_of(target) -> list:
+    """The per-rank Lammps instances of a Lammps or Ensemble target."""
+    return list(target.ranks) if hasattr(target, "ranks") else [target]
+
+
+def list_cells(root) -> tuple[tuple[str, str], ...]:
+    """``(neigh, newton)`` cells the active pair style supports.
+
+    Kokkos-suffixed styles expose the full section-4.1 product through
+    ``set_options`` minus the invalid full+newton-on cell.  Plain styles are
+    probed by flipping ``newton_pair`` through ``neighbor_request()``: styles
+    with a fixed request (e.g. SNAP/ReaxFF full lists) collapse to one cell.
+    """
+    pair = root.pair
+    if hasattr(pair, "neigh_mode"):
+        return (("half", "on"), ("half", "off"), ("full", "off"))
+    saved = root.newton_pair
+    try:
+        root.newton_pair = True
+        cell_on = pair.neighbor_request()
+        root.newton_pair = False
+        cell_off = pair.neighbor_request()
+    finally:
+        root.newton_pair = saved
+    cells = []
+    for style, newton in (cell_on, cell_off):
+        cell = (style, "on" if newton else "off")
+        if cell not in cells:
+            cells.append(cell)
+    return tuple(cells)
+
+
+def enumerate_pair_configs(target) -> list[dict]:
+    """Candidate cells for the pair-force kernel (scatter x lists x overlap)."""
+    ranks = ranks_of(target)
+    root = ranks[0]
+    overlaps: tuple[str | None, ...] = (None,)
+    if len(ranks) > 1 and getattr(root.pair, "supports_overlap", False):
+        overlaps = ("off", "on")
+    configs = []
+    for neigh, newton in list_cells(root):
+        for scatter in (ATOMIC, SEGMENTED):
+            for overlap in overlaps:
+                cfg = {SCATTER: scatter, NEIGH: neigh, NEWTON: newton}
+                if overlap is not None:
+                    cfg[OVERLAP] = overlap
+                configs.append(cfg)
+    return configs
+
+
+def enumerate_neighbor_configs(target) -> list[dict]:
+    """Candidate cells for the neighbor-build kernel (stencil x sort)."""
+    root = ranks_of(target)[0]
+    sorts = []
+    for value in (str(max(root.sort_every, 0)), "1", "0"):
+        if value not in sorts:
+            sorts.append(value)
+    return [
+        {STENCIL: stencil, SORT: sort}
+        for stencil in (SHARED, LEGACY)
+        for sort in sorts
+    ]
+
+
+def snapshot_config(target, keys=ALL_KEYS) -> dict:
+    """The currently-active value of each requested dimension."""
+    root = ranks_of(target)[0]
+    style, newton = root.pair.neighbor_request()
+    full = {
+        SCATTER: forced_scatter_mode()
+        or scatter_mode(getattr(root.pair, "execution_space", None)),
+        STENCIL: stencil_mode(),
+        NEIGH: style,
+        NEWTON: "on" if newton else "off",
+        SORT: str(max(root.sort_every, 0)),
+        OVERLAP: "on" if getattr(root, "overlap_comm", False) else "off",
+    }
+    return {key: full[key] for key in keys}
+
+
+def apply_config(target, config: dict) -> None:
+    """Install a (partial) mode config globally and on every rank.
+
+    Only the dimensions present in ``config`` are touched, so a pair-kernel
+    winner and a neighbor-kernel winner compose without clobbering each
+    other.  The neighbor list is *not* rebuilt here — callers rebuild when
+    the list-shaping dimensions (neigh/newton/stencil/sort) changed.
+    """
+    if SCATTER in config:
+        set_scatter_mode(config[SCATTER])
+    if STENCIL in config:
+        set_stencil_mode(config[STENCIL])
+    for lmp in ranks_of(target):
+        pair = lmp.pair
+        if NEIGH in config or NEWTON in config:
+            newton = config[NEWTON] == "on" if NEWTON in config else None
+            if hasattr(pair, "neigh_mode"):
+                pair.set_options(neigh=config.get(NEIGH), newton=newton)
+                # keep `package kokkos` consistent so the pair.init() in the
+                # next run setup does not silently undo the tuned choice
+                if NEIGH in config:
+                    lmp.package_kokkos["neigh"] = config[NEIGH]
+                if newton is not None:
+                    lmp.package_kokkos["newton"] = newton
+            if newton is not None:
+                lmp.newton_pair = newton
+        if SORT in config:
+            lmp.sort_every = int(config[SORT])
+        if OVERLAP in config:
+            lmp.overlap_comm = config[OVERLAP] == "on"
+
+
+def short_label(config: dict) -> str:
+    """Compact human label for a config (the thermo ``tune`` column)."""
+    parts = []
+    if SCATTER in config:
+        parts.append(_ABBREV.get(config[SCATTER], config[SCATTER]))
+    if NEIGH in config:
+        cell = config[NEIGH]
+        if NEWTON in config:
+            cell += "+" + config[NEWTON]
+        parts.append(cell)
+    if STENCIL in config:
+        parts.append(_ABBREV.get(config[STENCIL], config[STENCIL]))
+    if SORT in config:
+        parts.append("s" + config[SORT])
+    if config.get(OVERLAP) == "on":
+        parts.append("ov")
+    return "/".join(parts) or "-"

@@ -1,0 +1,122 @@
+"""Tuned-plan persistence: round trips, fail-open loads, ProfileStore feed.
+
+The plan file is a cache: a fresh tuner (standing in for a fresh process —
+nothing carries over but the file) must apply a stored winner without
+re-searching, and any corrupt or stale-schema file must downgrade to a
+warning plus a full search, never an exception.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from conftest import make_melt
+from repro.core.neighbor import set_stencil_mode
+from repro.kokkos.segment import set_scatter_mode
+from repro.tune import Autotuner
+from repro.tune.plan import SCHEMA_VERSION, TunePlanStore
+
+
+@pytest.fixture(autouse=True)
+def _reset_modes():
+    yield
+    set_scatter_mode(None)
+    set_stencil_mode(None)
+
+
+def _tune_melt(plan_path, profile_path=None, seed=7):
+    lmp = make_melt(cells=2, suffix="kk")
+    tuner = Autotuner(
+        measure="model", repeats=2, seed=seed,
+        plan_path=str(plan_path) if plan_path else None,
+        profile_path=str(profile_path) if profile_path else None,
+        workload="melt", quiet=True,
+    )
+    tuner.tune(lmp)
+    return tuner
+
+
+def test_plan_round_trip_skips_search(tmp_path):
+    plan = tmp_path / "tuned_plan.json"
+    first = _tune_melt(plan)
+    assert first.probes > 0
+    assert plan.exists()
+
+    data = json.loads(plan.read_text())
+    assert data["schema_version"] == SCHEMA_VERSION
+    entry = data["plans"]["melt"]["host"]["pair_force"]
+    assert entry["config"] == first.result["kernels"]["pair_force"]["config"]
+    assert entry["measure"] == "model"
+
+    # fresh tuner + fresh Lammps: only the file carries the winners over
+    set_scatter_mode(None)
+    set_stencil_mode(None)
+    second = _tune_melt(plan)
+    assert second.probes == 0
+    assert all(
+        entry["source"] == "plan" for entry in second.result["kernels"].values()
+    )
+    assert second.result["config"] == first.result["config"]
+
+
+def test_corrupt_plan_falls_back_to_search_with_warning(tmp_path):
+    plan = tmp_path / "tuned_plan.json"
+    plan.write_text("{definitely not json")
+    with pytest.warns(RuntimeWarning, match="falling back to search"):
+        tuner = _tune_melt(plan)
+    assert tuner.probes > 0  # searched despite the bad cache
+    assert tuner.plan_store.load_error is not None
+    # the save overwrote the corrupt file with a valid plan
+    assert json.loads(plan.read_text())["schema_version"] == SCHEMA_VERSION
+
+
+def test_stale_schema_plan_falls_back_to_search(tmp_path):
+    plan = tmp_path / "tuned_plan.json"
+    plan.write_text(json.dumps({"schema_version": 999, "plans": {}}) + "\n")
+    with pytest.warns(RuntimeWarning, match="schema_version"):
+        tuner = _tune_melt(plan)
+    assert tuner.probes > 0
+    assert json.loads(plan.read_text())["schema_version"] == SCHEMA_VERSION
+
+
+def test_malformed_plan_entry_is_ignored(tmp_path):
+    plan = tmp_path / "tuned_plan.json"
+    plan.write_text(json.dumps({
+        "schema_version": SCHEMA_VERSION,
+        "plans": {"melt": {"host": {"pair_force": {"config": "not-a-dict"}}}},
+    }) + "\n")
+    tuner = _tune_melt(plan)  # no warning: the file itself is valid
+    assert tuner.probes > 0  # but the bad entry forced a search
+
+
+def test_unsupported_planned_config_triggers_research(tmp_path):
+    plan = tmp_path / "tuned_plan.json"
+    store = TunePlanStore(str(plan))
+    store.record(
+        "melt", "host", "pair_force",
+        config={"scatter": "atomic", "neigh": "full", "newton": "on"},
+        score=1.0, measure="model", repeats=2,
+    )
+    store.save()
+    # full+newton-on is not an enumerable cell: the plan entry cannot be
+    # applied, so the tuner searches instead of crashing
+    tuner = _tune_melt(plan)
+    assert tuner.probes > 0
+    cfg = tuner.result["kernels"]["pair_force"]["config"]
+    assert (cfg["neigh"], cfg["newton"]) != ("full", "on")
+
+
+def test_profile_store_records_probed_cells(tmp_path):
+    profiles = tmp_path / "profiles.json"
+    tuner = _tune_melt(None, profile_path=profiles)
+    tuner.profile_store.save()
+    data = json.loads(profiles.read_text())
+    melt = data["profiles"]["melt"]
+    # one slot per probed cell, each carrying the tuner's pseudo-kernel row
+    assert len(melt) >= 6
+    assert any("pair_force" in kernels for kernels in melt.values())
+    assert any("neighbor_build" in kernels for kernels in melt.values())
+    best = tuner.profile_store.best_config("melt", "pair_force")
+    assert best is not None and best[1] > 0.0
