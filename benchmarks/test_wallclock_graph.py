@@ -1,0 +1,67 @@
+"""Wall-clock kernel graph: fused replay vs eager dispatch (real seconds).
+
+Times the functional layer itself, like the hotpath suite.  The fused
+melt step must beat the eager segmented step by the PR's acceptance
+margin (≥1.2×), and the plan cache must run at a 100% steady-state hit
+rate between neighbor rebuilds, re-capturing exactly once per rebuild.
+Results land in ``BENCH_graph.json`` at the repo root so each PR extends
+the recorded performance trajectory.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+from conftest import emit
+
+from repro.bench.graph_bench import format_graph_report, run_graph_bench
+from repro.bench.stats import SCHEMA_VERSION, validate_bench
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_graph.json"
+
+
+@pytest.fixture(scope="module")
+def graph_bench():
+    return run_graph_bench(out_path=str(BENCH_JSON), quiet=True)
+
+
+def melt(results: dict) -> dict:
+    return next(w for w in results["workloads"] if w["workload"] == "melt")
+
+
+def test_fused_melt_step_at_least_1_2x(graph_bench):
+    """The acceptance margin: fused replay ≥1.2× over eager segmented."""
+    row = melt(graph_bench)
+    assert row["graph_speedup"] >= 1.2, (
+        f"fused melt step only {row['graph_speedup']:.2f}x over eager"
+    )
+
+
+def test_plan_cache_steady_state_hit_rate_is_100_percent(graph_bench):
+    cache = melt(graph_bench)["plan_cache"]
+    assert cache["steady_state_hit_rate"] == 1.0
+    assert cache["steady_hits"] == cache["steady_steps"]
+    assert cache["steady_misses"] == 0
+
+
+def test_neighbor_rebuild_costs_exactly_one_recapture(graph_bench):
+    cache = melt(graph_bench)["plan_cache"]
+    assert cache["rebuild_misses"] == 1
+    assert cache["rebuild_hits"] == 1
+    assert cache["fused_nodes_per_capture"] > 1  # fusion actually happened
+
+
+def test_bench_json_recorded_with_stats(graph_bench):
+    assert BENCH_JSON.exists()
+    assert graph_bench["benchmark"] == "hotpath"  # sentinel-comparable
+    assert graph_bench["variant"] == "graph"
+    assert graph_bench["schema_version"] == SCHEMA_VERSION
+    validate_bench(graph_bench)
+    row = melt(graph_bench)
+    assert set(row["step_seconds"]) == {"segmented", "graph"}
+    for mode in ("segmented", "graph"):
+        block = row["step_stats"][mode]
+        assert block["repeats"] == row["repeats"]
+        assert block["median"] >= block["min"] > 0
+    emit(format_graph_report(graph_bench))

@@ -53,9 +53,21 @@ def test_bench_json_recorded(hotpath):
     assert BENCH_JSON.exists()
     for r in hotpath["workloads"]:
         assert r["natoms"] > 0
-        assert set(r["step_seconds"]) == {"atomic", "segmented"}
-        assert set(r["steps_per_second"]) == {"atomic", "segmented"}
+        # melt also times the kernel-graph fused replay on top of segmented
+        modes = {"atomic", "segmented"}
+        if r["workload"] == "melt":
+            modes.add("graph")
+        assert set(r["step_seconds"]) == modes
+        assert set(r["steps_per_second"]) == modes
     emit(format_hotpath_report(hotpath))
+
+
+def test_melt_fused_graph_step_never_slower(hotpath):
+    """The kernel-graph fused replay must not regress the segmented step."""
+    melt = row(hotpath, "melt")
+    assert melt["graph_speedup"] >= 1.0, (
+        f"fused graph step {1.0 / melt['graph_speedup']:.2f}x slower"
+    )
 
 
 def test_bench_json_repeat_stats(hotpath):

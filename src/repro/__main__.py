@@ -50,9 +50,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("-in", "--input", dest="script",
                    help="input script file")
-    p.add_argument("--bench", choices=bench_names(), default=None,
+    p.add_argument("--bench", default=None, metavar="NAME",
                    help="run a wall-clock benchmark instead of a script "
-                   "(writes BENCH_<name>.json in the working directory)")
+                   "(writes BENCH_<name>.json in the working directory): "
+                   + ", ".join(bench_names()))
     p.add_argument("--tools", default=None, metavar="NAME[,NAME...]",
                    help="attach observability tools for the run: "
                    + ", ".join(tool_names()))
@@ -145,7 +146,11 @@ def main(argv: list[str] | None = None) -> int:
             print(format_report(analysis))
         return 0
     if args.bench is not None:
-        run_bench(args.bench, quiet=args.quiet)
+        try:
+            run_bench(args.bench, quiet=args.quiet)
+        except KeyError as err:
+            # unknown bench names carry the registry's did-you-mean hint
+            parser.error(str(err.args[0]) if err.args else str(err))
         return 0
     if args.script is None:
         parser.error("an input script (-in FILE), --bench, --analyze-trace, "

@@ -1,0 +1,149 @@
+"""Wall-clock kernel-graph benchmark: fused replay vs eager dispatch.
+
+Runs the melt force step eagerly under segmented scatter (the committed
+BENCH_hotpath.json measurement, reproduced exactly), then again with the
+kernel-graph subsystem on: the first step captures the per-step dispatch
+DAG, fuses the elementwise chains, and caches the plan; every later step
+replays the fused plan with zero re-capture cost.  The acceptance claims
+are (a) the fused step beats the eager segmented step and (b) the plan
+cache runs at a 100% steady-state hit rate between neighbor rebuilds,
+paying exactly one re-capture miss per rebuild.
+
+The output ``BENCH_graph.json`` declares ``"benchmark": "hotpath"`` (with
+a ``"variant": "graph"`` marker) on purpose: it uses the same workload and
+measurement schema, so the CI sentinel can compare the ``segmented`` and
+``graph`` columns directly against the committed BENCH_hotpath.json
+baseline (which records both since the hotpath bench grew a graph mode).
+"""
+
+from __future__ import annotations
+
+import json
+
+import repro.potentials  # noqa: F401  (register pair styles)
+from repro.bench.hotpath import GRAPH, _record, _step_samples
+from repro.bench.registry import register_bench
+from repro.bench.stats import SCHEMA_VERSION, validate_bench
+from repro.core import Lammps
+from repro.graph import ON, force_graph_mode, plan_cache
+from repro.kokkos.segment import SEGMENTED, force_scatter_mode
+from repro.workloads.melt import setup_melt
+
+#: default output file (repo-root relative when run from the checkout)
+DEFAULT_OUT = "BENCH_graph.json"
+
+_COUNTERS = ("hits", "misses", "fused_nodes")
+
+
+def _delta(after: dict, before: dict) -> dict:
+    return {key: after[key] - before[key] for key in _COUNTERS}
+
+
+def bench_melt_graph(
+    cells: int = 8, repeats: int = 10, steady_steps: int = 32
+) -> dict:
+    """Melt step timings eager vs fused, plus plan-cache hit accounting."""
+    lmp = Lammps(quiet=True)
+    setup_melt(lmp, cells=cells, pair_style="lj/cut")
+    lmp.run(0)
+    atom, pair = lmp.atom, lmp.pair
+    out: dict = {
+        "workload": "melt",
+        "pair_style": "lj/cut",
+        "natoms": int(lmp.natoms_total),
+        "pairs": int(lmp.neigh_list.total_pairs),
+        "repeats": repeats,
+    }
+
+    def step() -> None:
+        atom.f[: atom.nall] = 0.0
+        pair.compute(True, True)
+
+    with force_scatter_mode(SEGMENTED):
+        _record(out, "step", SEGMENTED, _step_samples(lmp, repeats))
+        with force_graph_mode(ON):
+            _record(out, "step", GRAPH, _step_samples(lmp, repeats))
+            cache = plan_cache()
+            # steady state: the plan captured above stays valid until the
+            # next rebuild, so every one of these steps must be a cache hit
+            before = cache.stats()
+            for _ in range(steady_steps):
+                step()
+            steady = _delta(cache.stats(), before)
+            # a neighbor rebuild bumps the list generation, invalidating the
+            # plan: exactly one re-capture miss, then hits again
+            before = cache.stats()
+            for _ in lmp.rebuild_gen():
+                pass
+            step()
+            step()
+            rebuild = _delta(cache.stats(), before)
+
+    looked_up = steady["hits"] + steady["misses"]
+    out["plan_cache"] = {
+        "steady_steps": steady_steps,
+        "steady_hits": steady["hits"],
+        "steady_misses": steady["misses"],
+        "steady_state_hit_rate": (
+            steady["hits"] / looked_up if looked_up else 0.0
+        ),
+        "rebuild_hits": rebuild["hits"],
+        "rebuild_misses": rebuild["misses"],
+        "fused_nodes_per_capture": rebuild["fused_nodes"],
+    }
+    step_s = out["step_seconds"]
+    out["steps_per_second"] = {m: 1.0 / s for m, s in step_s.items()}
+    out["atom_steps_per_second"] = {
+        m: out["natoms"] / s for m, s in step_s.items()
+    }
+    out["graph_speedup"] = step_s[SEGMENTED] / step_s[GRAPH]
+    return out
+
+
+@register_bench("graph")
+def run_graph_bench(
+    *,
+    repeats: int = 10,
+    steady_steps: int = 32,
+    out_path: str | None = DEFAULT_OUT,
+    quiet: bool = False,
+) -> dict:
+    """Run the fused-vs-eager melt bench; write BENCH_graph.json."""
+    results = {
+        "benchmark": "hotpath",
+        "variant": "graph",
+        "units": "seconds (best-of-repeats wall clock)",
+        "schema_version": SCHEMA_VERSION,
+        "workloads": [
+            bench_melt_graph(repeats=repeats, steady_steps=steady_steps)
+        ],
+    }
+    validate_bench(results)
+    if out_path:
+        with open(out_path, "w") as fh:
+            json.dump(results, fh, indent=2)
+            fh.write("\n")
+    if not quiet:
+        print(format_graph_report(results))
+    return results
+
+
+def format_graph_report(results: dict) -> str:
+    lines = ["kernel-graph wall clock: fused replay vs eager dispatch"]
+    for row in results["workloads"]:
+        step = row["step_seconds"]
+        cache = row["plan_cache"]
+        lines.append(
+            f"  {row['workload']:<9} natoms={row['natoms']:<6} "
+            f"step eager {step[SEGMENTED] * 1e3:8.3f} ms -> "
+            f"fused {step[GRAPH] * 1e3:8.3f} ms "
+            f"({row['graph_speedup']:.2f}x)"
+        )
+        lines.append(
+            f"  {'':<9} plan cache: {cache['steady_hits']}/"
+            f"{cache['steady_steps']} steady-state hits "
+            f"({cache['steady_state_hit_rate'] * 100:.0f}%), "
+            f"{cache['rebuild_misses']} re-capture after rebuild, "
+            f"{cache['fused_nodes_per_capture']} dispatches fused per plan"
+        )
+    return "\n".join(lines)

@@ -35,11 +35,15 @@ def bench_names() -> list[str]:
 
 
 def run_bench(name: str, *, quiet: bool = False):
-    """Dispatch to a registered benchmark entry point."""
+    """Dispatch to a registered benchmark entry point.
+
+    Unknown names fail with the shared did-you-mean hint listing the
+    registry — the same contract as ``set_scatter_mode``/``create_tool``.
+    """
     try:
         fn = _BENCHES[name]
     except KeyError:
-        raise KeyError(
-            f"unknown benchmark {name!r}; registered: {bench_names()}"
-        ) from None
+        from repro.core.errors import unknown_choice
+
+        raise KeyError(unknown_choice("benchmark", name, bench_names())) from None
     return fn(quiet=quiet)

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 from dataclasses import dataclass
+from itertools import count
 from typing import Iterator
 
 import numpy as np
@@ -51,6 +52,9 @@ LEGACY = "legacy"
 _STENCIL_MODES = (SHARED, LEGACY)
 
 _forced_stencil: str | None = None
+
+#: Process-wide rebuild stamp source for :attr:`NeighborList.generation`.
+_GENERATION = count(1)
 
 
 def stencil_mode() -> str:
@@ -99,6 +103,11 @@ class NeighborList:
     first: np.ndarray
     #: Flat neighbor indices into the local+ghost arrays, int32.
     neighbors: np.ndarray
+    #: Monotonic build stamp (process-wide).  Everything whose lifetime is
+    #: "until the next neighbor rebuild" — the :class:`PairCache`, the kernel
+    #: graph's fused-plan cache — can key on this instead of holding the list
+    #: object itself.
+    generation: int = -1
 
     @property
     def numneigh(self) -> np.ndarray:
@@ -344,10 +353,15 @@ def build_neighbor_list(
             "this build models appendix B's int32 column indices"
         )
     if nlocal == 0:
-        return NeighborList(style, newton, cutoff, 0, np.zeros(1, np.int64), np.zeros(0, np.int32))
-    if stencil_mode() == SHARED:
-        return _build_shared(x, nlocal, cutoff, style, newton, chunk, grid)
-    return _build_legacy(x, nlocal, cutoff, style, newton, chunk)
+        nlist = NeighborList(
+            style, newton, cutoff, 0, np.zeros(1, np.int64), np.zeros(0, np.int32)
+        )
+    elif stencil_mode() == SHARED:
+        nlist = _build_shared(x, nlocal, cutoff, style, newton, chunk, grid)
+    else:
+        nlist = _build_legacy(x, nlocal, cutoff, style, newton, chunk)
+    nlist.generation = next(_GENERATION)
+    return nlist
 
 
 def _build_shared(

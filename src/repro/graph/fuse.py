@@ -1,0 +1,136 @@
+"""Elementwise fusion over a captured kernel DAG.
+
+Chains of adjacent elementwise nodes over the *same index space* compose
+into a single fused dispatch: one launch, and intermediate buffers that
+are produced and last consumed inside the chain never round-trip through
+memory.  ScatterView contributions, segmented reductions, tallies, and
+any node whose observed writes exceed its declared writes act as fusion
+barriers — they either reorder memory traffic (scatter) or reduce across
+the index space (tally), so composing past them would change semantics.
+
+Import discipline: only ``repro.hardware.cost`` (pure dataclasses) may
+be imported here — this module is reachable from ``repro.kokkos`` module
+initialisation via ``repro.graph``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hardware.cost import KernelProfile, fuse_profiles
+
+from .capture import KernelNode
+
+
+@dataclass
+class FusedGroup:
+    """One dispatch in the fused plan: either a fused elementwise chain
+    (``len(nodes) > 1``), a lone elementwise node, or a barrier node."""
+
+    nodes: list[KernelNode]
+    #: Fused composite cost profile (``None`` when the member dispatches
+    #: carried no profile — pure-Python helper stages).
+    profile: KernelProfile | None = None
+    #: Simulated seconds: barrier nodes keep their captured charge;
+    #: fused chains are re-priced by the caller against the cost model.
+    seconds: float = 0.0
+    #: Buffers produced and last consumed inside the chain — eliminated
+    #: intermediate Views.
+    internal: tuple[str, ...] = ()
+    saved_intermediate_bytes: float = 0.0
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def fused(self) -> bool:
+        return len(self.nodes) > 1
+
+    @property
+    def name(self) -> str:
+        if not self.fused:
+            return self.nodes[0].name
+        return "graph:fused[" + "+".join(n.name for n in self.nodes) + "]"
+
+    @property
+    def index_space(self) -> str:
+        return str(self.nodes[0].meta.get("index_space", ""))
+
+
+def _same_index_space(a: KernelNode, b: KernelNode) -> bool:
+    ka = a.meta.get("index_space")
+    kb = b.meta.get("index_space")
+    return ka is not None and ka == kb
+
+
+def _chain_internal_bytes(nodes: list[KernelNode]) -> tuple[tuple[str, ...], float]:
+    """Buffers written inside the chain and never read after it.
+
+    A buffer written by node *i* whose every read lies at nodes > *i*
+    within the chain (and which is not listed as a chain output via
+    ``meta['outputs']``) never needs to exist in memory once fused.
+    Saved traffic is one write plus one read of the buffer per
+    elimination, sized from ``meta['item_bytes']`` declarations.
+    """
+    chain_writes: dict[str, KernelNode] = {}
+    for node in nodes:
+        for label in node.writes:
+            chain_writes.setdefault(label, node)
+    outputs: set[str] = set()
+    for node in nodes:
+        outputs |= set(node.meta.get("outputs", ()))
+    internal = []
+    saved = 0.0
+    for label, writer in chain_writes.items():
+        if label in outputs:
+            continue
+        internal.append(label)
+        item_bytes = float(writer.meta.get("item_bytes", {}).get(label, 0.0))
+        # one streamed write + one streamed read eliminated
+        saved += 2.0 * item_bytes * float(writer.size or 0.0)
+    return tuple(internal), saved
+
+
+def fuse(nodes: list[KernelNode]) -> list[FusedGroup]:
+    """Greedily fuse maximal runs of adjacent fusable nodes.
+
+    A run extends while the next node is elementwise, honest about its
+    writes (``node.fusable``), and iterates the same index space.  Any
+    other node — scatter, tally, reduction, or a stage caught writing
+    Views it did not declare — terminates the run and stands alone as a
+    barrier group.
+    """
+    groups: list[FusedGroup] = []
+    run: list[KernelNode] = []
+
+    def flush() -> None:
+        if not run:
+            return
+        chain = list(run)
+        run.clear()
+        internal, saved = _chain_internal_bytes(chain)
+        profiles = [n.profile for n in chain if n.profile is not None]
+        group = FusedGroup(
+            nodes=chain,
+            seconds=sum(n.seconds for n in chain),
+            internal=internal,
+            saved_intermediate_bytes=saved,
+        )
+        if profiles:
+            group.profile = fuse_profiles(
+                profiles,
+                name=group.name,
+                saved_intermediate_bytes=saved,
+            )
+        groups.append(group)
+
+    for node in nodes:
+        if node.fusable:
+            if run and not _same_index_space(run[-1], node):
+                flush()
+            run.append(node)
+        else:
+            flush()
+            groups.append(
+                FusedGroup(nodes=[node], profile=node.profile, seconds=node.seconds)
+            )
+    flush()
+    return groups

@@ -21,6 +21,7 @@ import numpy as np
 
 import repro.kokkos as kk
 from repro.core.styles import register_pair
+from repro.graph import plan as graph_plan
 from repro.kokkos.core import Device, Host
 from repro.kokkos.scatter_view import ScatterView
 from repro.kokkos.segment import scatter_add
@@ -105,6 +106,15 @@ class PairEAMKokkos(PairEAM):
     ) -> None:
         atom = self.lmp.atom
         nlist = self.lmp.neigh_list
+        if graph_plan.GRAPH:
+            from repro.graph.pairwise import eam_force_graph
+
+            if eam_force_graph(
+                self, i, j, dx, r, itype, jtype, stored, fp_view, f_view,
+                eflag, vflag, sorted_i=sorted_i,
+            ):
+                self.lmp.atom_kk.modified(self.execution_space, ("f",))
+                return
         fp = fp_view.data
         fp_sum = fp[i] + fp[j]
         fpair = -(self.dphi(r, itype, jtype) + fp_sum * self.ddens(r)) / r

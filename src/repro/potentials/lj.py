@@ -12,6 +12,7 @@ import numpy as np
 
 from repro.core.errors import InputError
 from repro.core.styles import register_pair
+from repro.graph import plan as graph_plan
 from repro.potentials.pair import Pair
 
 
@@ -97,6 +98,48 @@ class LJMixin:
         evdwl -= self.offset[itype, jtype]
         return fpair, evdwl
 
+    def graph_eval_setup(self, env: dict, itype0, jtype0):
+        """Staged LJ eval: coefficient tables pre-gathered per plan.
+
+        The 2-D fancy-indexed coefficient lookups of :meth:`pair_eval`
+        become 1-D ``np.take`` gathers against per-stored-pair vectors
+        computed once at capture, and every ufunc lands in preallocated
+        scratch.  The floating-point operation sequence is identical to
+        :meth:`pair_eval` op for op, so the results are bitwise-equal
+        (held by the fused-vs-eager matrix test).
+        """
+        cap = len(itype0)
+        env["lj1p"] = self.lj1[itype0, jtype0]
+        env["lj2p"] = self.lj2[itype0, jtype0]
+        env["lj3p"] = self.lj3[itype0, jtype0]
+        env["lj4p"] = self.lj4[itype0, jtype0]
+        env["offp"] = self.offset[itype0, jtype0]
+        for key in ("lj_ca", "lj_cb", "lj_r2", "lj_r6", "lj_t", "fpair_s", "evdwl_s"):
+            env[key] = np.empty(cap)
+
+        def eval_fn(env: dict) -> None:
+            idx = env["idx"]
+            n = idx.size
+            rsq = env["rsq_n"]
+            ca = np.take(env["lj1p"], idx, out=env["lj_ca"][:n])
+            cb = np.take(env["lj2p"], idx, out=env["lj_cb"][:n])
+            r2 = np.divide(1.0, rsq, out=env["lj_r2"][:n])
+            r6 = np.multiply(r2, r2, out=env["lj_r6"][:n])
+            np.multiply(r6, r2, out=r6)
+            t = np.multiply(ca, r6, out=env["lj_t"][:n])
+            np.subtract(t, cb, out=t)
+            forcelj = np.multiply(r6, t, out=t)
+            env["fpair_n"] = np.multiply(forcelj, r2, out=env["fpair_s"][:n])
+            ca = np.take(env["lj3p"], idx, out=ca)
+            cb = np.take(env["lj4p"], idx, out=cb)
+            e = np.multiply(ca, r6, out=env["evdwl_s"][:n])
+            np.subtract(e, cb, out=e)
+            np.multiply(r6, e, out=e)
+            off = np.take(env["offp"], idx, out=ca)
+            env["evdwl_n"] = np.subtract(e, off, out=e)
+
+        return eval_fn
+
 
 @register_pair("lj/cut")
 class PairLJCut(LJMixin, Pair):
@@ -109,6 +152,11 @@ class PairLJCut(LJMixin, Pair):
         nlist = self.lmp.neigh_list
         if nlist is None or nlist.total_pairs == 0:
             return
+        if graph_plan.GRAPH:
+            from repro.graph.pairwise import graph_pair_compute
+
+            if graph_pair_compute(self, "all", eflag, vflag):
+                return
         self._compute_pairs("all", eflag, vflag)
 
     def compute_phase(

@@ -112,12 +112,16 @@ class Pair:
         full_list: bool,
         newton: bool,
         ecoul: np.ndarray | None = None,
+        w: np.ndarray | None = None,
     ) -> None:
         """ev_tally for a batch of pairs.
 
         ``fpair`` is the scalar force magnitude over r (force vector is
         ``fpair[:, None] * dx``); ``jlocal`` marks pairs whose j atom is
-        owned by this rank.
+        owned by this rank.  Callers that already hold the force vectors
+        may pass them as ``w`` to skip recomputing the product (the
+        kernel-graph replay path reuses its fused ``fvec`` stage output;
+        the product is bitwise-identical either way).
         """
         if full_list:
             factor = np.full(len(evdwl), 0.5)
@@ -128,7 +132,8 @@ class Pair:
         self.eng_vdwl += float(np.dot(factor, evdwl))
         if ecoul is not None:
             self.eng_coul += float(np.dot(factor, ecoul))
-        w = fpair[:, None] * dx
+        if w is None:
+            w = fpair[:, None] * dx
         # virial components xx, yy, zz, xy, xz, yz
         self.virial[0] += float(np.dot(factor, dx[:, 0] * w[:, 0]))
         self.virial[1] += float(np.dot(factor, dx[:, 1] * w[:, 1]))
@@ -208,6 +213,31 @@ class Pair:
         raise StyleError(
             f"{type(self).__name__} does not support phased (overlapped) compute"
         )
+
+    # --------------------------------------------------------- kernel graph
+    def graph_eval_setup(self, env: dict, itype0, jtype0):
+        """Bind per-plan eval state into ``env``; return the staged eval fn.
+
+        The generic form gathers the compressed type pairs and defers to
+        :meth:`pair_eval` — the same call the eager kernel makes, so any
+        style with ``pair_eval`` stages for free.  Styles override this
+        to pre-gather coefficient tables once per plan (see ``LJMixin``).
+        Returns None when the style cannot be staged.
+        """
+        if not hasattr(self, "pair_eval"):
+            return None
+        env["it0"] = itype0
+        env["jt0"] = jtype0
+
+        def eval_fn(env: dict, pair=self) -> None:
+            idx = env["idx"]
+            it_n = np.take(env["it0"], idx)
+            jt_n = np.take(env["jt0"], idx)
+            fpair, evdwl = pair.pair_eval(env["rsq_n"], it_n, jt_n)
+            env["fpair_n"] = fpair
+            env["evdwl_n"] = evdwl
+
+        return eval_fn
 
     # --------------------------------------------------------------- hooks
     def compute(self, eflag: bool = True, vflag: bool = True) -> None:

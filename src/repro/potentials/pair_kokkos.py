@@ -29,6 +29,7 @@ import numpy as np
 
 import repro.kokkos as kk
 from repro.core.errors import InputError
+from repro.graph import plan as graph_plan
 from repro.kokkos.core import Device, Host
 from repro.kokkos.scatter_view import ScatterView
 from repro.kokkos.segment import scatter_add, scatter_mode
@@ -109,6 +110,11 @@ class PairKokkos(Pair):
         self.reset_tallies()
         if self.lmp.neigh_list is None or self.lmp.neigh_list.total_pairs == 0:
             return
+        if graph_plan.GRAPH:
+            from repro.graph.pairwise import graph_pair_compute
+
+            if graph_pair_compute(self, "all", eflag, vflag):
+                return
         self._compute_pairs("all", eflag, vflag, name_suffix="")
 
     def compute_phase(

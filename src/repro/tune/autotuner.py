@@ -174,13 +174,19 @@ class Autotuner:
         except ValueError:
             candidates = [baseline] + list(candidates)
             base_idx = 0
+        candidates, base_idx, prior_key, pruned = self._seed_from_prior(
+            kernel, candidates, base_idx, base_full, arch
+        )
         rng = random.Random((self.seed, kernel).__repr__())
         samples: list[list[float]] = [[] for _ in candidates]
         totals = [{"wall": 0.0, "sim": 0.0, "n": 0} for _ in candidates]
         tools: list[MetricsTool | None] = [None] * len(candidates)
         for rnd in range(self.repeats + 1):  # round 0 is the warmup
             order = list(range(len(candidates)))
-            rng.shuffle(order)
+            if rnd:
+                rng.shuffle(order)
+            # the warmup round keeps list order, so a ProfileStore prior
+            # placed at the front of the candidate list really probes first
             for idx in order:
                 cfg = candidates[idx]
                 tspace.apply_config(target, cfg)
@@ -202,7 +208,47 @@ class Autotuner:
             "baseline": candidates[base_idx], "baseline_score": scores[base_idx],
             "candidates": len(candidates),
         }
+        if prior_key is not None:
+            entry["prior"] = prior_key
+            entry["pruned"] = pruned
         return candidates[win_idx], entry
+
+    def _seed_from_prior(self, kernel, candidates, base_idx, base_full, arch):
+        """Reorder/prune the candidate list from recorded ProfileStore means.
+
+        When a ``best_config`` prior exists for this (workload, kernel), the
+        recorded winner moves to the front of the probe order, and any
+        candidate whose recorded mean wall already trails the prior by more
+        than the noise floor is dropped without spending probes on it.  The
+        baseline and the prior itself are never pruned, so the tuned run
+        keeps its never-slower-than-baseline guarantee.
+        """
+        if self.profile_store is None:
+            return candidates, base_idx, None, 0
+        prior = self.profile_store.best_config(self.workload, kernel)
+        if prior is None:
+            return candidates, base_idx, None, 0
+        prior_key, prior_mean = prior
+        cutoff = prior_mean * (1.0 + self.rel_floor)
+        baseline = candidates[base_idx]
+        keep: list[dict] = []
+        prior_cfg: dict | None = None
+        pruned = 0
+        for idx, cfg in enumerate(candidates):
+            full = {"device": arch, **base_full, **cfg}
+            if metrics.config_key(full) == prior_key:
+                prior_cfg = cfg
+                keep.append(cfg)
+                continue
+            mean = self.profile_store.mean_wall(self.workload, kernel, full)
+            if idx != base_idx and mean is not None and mean > cutoff:
+                pruned += 1
+                continue
+            keep.append(cfg)
+        if prior_cfg is not None and keep[0] is not prior_cfg:
+            keep.remove(prior_cfg)
+            keep.insert(0, prior_cfg)
+        return keep, keep.index(baseline), prior_key, pruned
 
     def _pick(self, base_idx: int, scores: list[float], stats: list[dict]) -> int:
         """Index of the winner: baseline unless a challenger beats the band."""

@@ -28,6 +28,7 @@ from repro.core.neighbor import (
     set_stencil_mode,
     stencil_mode,
 )
+from repro.graph import set_graph_mode
 from repro.kokkos.segment import (
     ATOMIC,
     SEGMENTED,
@@ -50,6 +51,7 @@ def _reset_modes():
     yield
     set_scatter_mode(None)
     set_stencil_mode(None)
+    set_graph_mode(None)
 
 
 # ------------------------------------------------------------- melt matrix
