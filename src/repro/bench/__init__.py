@@ -28,6 +28,7 @@ from repro.bench.scaling import (
 from repro.bench.autotune import format_autotune_report, run_autotune_bench
 from repro.bench.graph_bench import format_graph_report, run_graph_bench
 from repro.bench.hotpath import format_hotpath_report, run_hotpath_bench
+from repro.bench.qeq_bench import format_qeq_report, run_qeq_bench
 from repro.bench.neighbor import (
     format_neighbor_report,
     run_neighbor_bench,
@@ -67,6 +68,8 @@ __all__ = [
     "format_autotune_report",
     "run_neighbor_bench",
     "format_neighbor_report",
+    "run_qeq_bench",
+    "format_qeq_report",
     "validate_neighbor_bench",
     "SCHEMA_VERSION",
     "summarize",

@@ -67,6 +67,37 @@ class AtomVec:
         #: the permutation applied by the most recent :meth:`reorder_local`
         #: (``new[k] = old[perm[k]]``), for consumers that can remap.
         self.last_reorder_perm: np.ndarray | None = None
+        #: registered custom per-atom fields (name -> ``(capacity, width)``
+        #: array).  Custom fields are owned-atom state that participates in
+        #: :meth:`grow`, :meth:`reorder_local`, and :meth:`replace_local`
+        #: (they migrate with their atoms through ``exchange``); they are
+        #: never border/forward-communicated, so ghost rows stay zero.
+        self.custom: dict[str, np.ndarray] = {}
+
+    # ------------------------------------------------------- custom fields
+    def add_custom(
+        self, name: str, width: int, dtype: np.dtype | type = np.float64
+    ) -> np.ndarray:
+        """Register a per-atom custom field; idempotent per name.
+
+        Returns the backing array, but callers must re-fetch through
+        ``self.custom[name]`` after any :meth:`grow` — reallocation replaces
+        the array (exactly like the built-in fields and their aliases).
+        """
+        arr = self.custom.get(name)
+        if arr is not None:
+            if arr.shape[1] != width or arr.dtype != np.dtype(dtype):
+                raise LammpsError(
+                    f"custom field {name!r} re-registered with different "
+                    f"shape/dtype ({arr.shape[1]}/{arr.dtype} vs {width}/"
+                    f"{np.dtype(dtype)})"
+                )
+            return arr
+        if width < 1:
+            raise LammpsError(f"custom field {name!r} needs width >= 1")
+        arr = np.zeros((self._capacity, width), dtype=dtype)
+        self.custom[name] = arr
+        return arr
 
     # ------------------------------------------------------------- sizing
     @property
@@ -85,6 +116,10 @@ class AtomVec:
             new = np.zeros(shape, dtype=self.FIELD_DTYPES[name])
             new[: old.shape[0]] = old
             setattr(self, name, new)
+        for name, old in self.custom.items():
+            new = np.zeros((new_cap, old.shape[1]), dtype=old.dtype)
+            new[: old.shape[0]] = old
+            self.custom[name] = new
         self._capacity = new_cap
         self.generation += 1
 
@@ -127,8 +162,17 @@ class AtomVec:
         types: np.ndarray,
         tags: np.ndarray,
         q: np.ndarray | None = None,
+        custom: dict[str, np.ndarray] | None = None,
     ) -> None:
-        """Overwrite the owned set wholesale (atom migration)."""
+        """Overwrite the owned set wholesale (atom migration).
+
+        ``custom`` carries per-atom custom-field rows alongside the base
+        fields (each value ``(n, width)``, row k belonging to atom k);
+        fields arriving from a peer that this rank has not registered yet
+        are registered on the fly, and registered fields absent from the
+        payload are zeroed — migrated atoms must never inherit a previous
+        occupant's rows.
+        """
         n = x.shape[0]
         self.nghost = 0
         self.nlocal = 0
@@ -138,6 +182,11 @@ class AtomVec:
         self.type[:n] = types
         self.tag[:n] = tags
         self.q[:n] = q if q is not None else 0.0
+        for arr in self.custom.values():
+            arr[:n] = 0
+        for name, rows in (custom or {}).items():
+            dst = self.add_custom(name, rows.shape[1], rows.dtype)
+            dst[:n] = rows
         self.nlocal = n
 
     # ------------------------------------------------------------ reordering
@@ -158,6 +207,8 @@ class AtomVec:
             raise LammpsError(f"reorder perm shape {perm.shape} != ({n},)")
         for name in self.FIELD_DTYPES:
             arr = getattr(self, name)
+            arr[:n] = arr[:n][perm]
+        for arr in self.custom.values():
             arr[:n] = arr[:n][perm]
         self.reorder_generation += 1
         self.last_reorder_perm = perm

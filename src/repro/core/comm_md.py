@@ -267,6 +267,28 @@ class CommBrick:
             incoming = self.comm.recv(swap.recv_from, ("fwdf", name, k))
             arr[swap.firstrecv : swap.firstrecv + swap.nrecv] = incoming
 
+    def forward_comm_fields(self, atom: AtomVec, names: tuple[str, ...]) -> Iterator[None]:
+        """Forward-communicate several scalar per-atom fields, packed.
+
+        The fields ride one column-stacked buffer per swap — one message
+        where :meth:`forward_comm_field` would send ``len(names)``.  QEq
+        exchanges both CG direction vectors every iteration; packing them
+        halves its comm rounds per iteration, and the ledger accounts the
+        single wider message automatically (payload ``nbytes``).
+        """
+        if metrics.SINKS:
+            metrics.inc("halo_exchanges_total", kind="forward_fields")
+        self._check_sendlists(atom)
+        names = tuple(names)
+        arrs = [getattr(atom, name) for name in names]
+        for k, swap in enumerate(self.swaps):
+            buf = np.column_stack([arr[swap.sendlist] for arr in arrs])
+            self.comm.send(swap.send_to, buf, ("fwdfs", names, k))
+            yield
+            incoming = self.comm.recv(swap.recv_from, ("fwdfs", names, k))
+            for col, arr in enumerate(arrs):
+                arr[swap.firstrecv : swap.firstrecv + swap.nrecv] = incoming[:, col]
+
     # --------------------------------------------------------- reverse comm
     def reverse_comm(self, atom: AtomVec, name: str = "f") -> Iterator[None]:
         """Accumulate ghost contributions back to their owners.
@@ -306,16 +328,37 @@ class CommBrick:
             "tag": atom.tag[:n],
             "q": atom.q[:n],
         }
+        custom = {name: arr[:n] for name, arr in sorted(atom.custom.items())}
         for dest in range(self.comm.size):
             sel = owners == dest
             payload = {k: v[sel].copy() for k, v in fields.items()}
+            payload["custom"] = {k: v[sel].copy() for k, v in custom.items()}
             self.comm.send(dest, payload, "exchange")
         yield
         parts = [self.comm.recv(src, "exchange") for src in range(self.comm.size)]
+        # union of custom fields across senders: a peer may have registered a
+        # field this rank has not seen yet (and vice versa); missing rows are
+        # zero-filled so every field stays aligned with its atoms
+        custom_names = sorted({name for p in parts for name in p["custom"]})
+        custom_in: dict[str, np.ndarray] | None = None
+        if custom_names:
+            custom_in = {}
+            for name in custom_names:
+                proto = next(p["custom"][name] for p in parts if name in p["custom"])
+                custom_in[name] = np.concatenate([
+                    p["custom"].get(
+                        name,
+                        np.zeros(
+                            (p["x"].shape[0], proto.shape[1]), dtype=proto.dtype
+                        ),
+                    )
+                    for p in parts
+                ])
         atom.replace_local(
             x=np.concatenate([p["x"] for p in parts]),
             v=np.concatenate([p["v"] for p in parts]),
             types=np.concatenate([p["type"] for p in parts]),
             tags=np.concatenate([p["tag"] for p in parts]),
             q=np.concatenate([p["q"] for p in parts]),
+            custom=custom_in,
         )

@@ -10,30 +10,86 @@ Paper sections 4.2.2-4.2.3 in full:
   offsets, and an explicit per-row non-zero count (required *because* rows
   are over-allocated).  Appendix B's integer-width split is applied: row
   offsets are int64 (they overflow 32 bits at exascale), column indices and
-  row lengths stay int32.
+  row lengths stay int32 — and :func:`build_qeq_matrix` *enforces* that
+  split rather than documenting it.
 
-* The two Krylov solves (``A s = -chi``, ``A t = -1``) are **fused**: one
-  matrix traversal feeds both recurrences, reusing the dominant memory
-  stream — the optimization AMD contributed to the Kokkos version.  The
-  equilibrated charges are ``q = s - t * (sum s / sum t)``, which enforces
-  charge neutrality.
+* The two Krylov solves (``A s = -chi``, ``A t = -1``) are **truly fused**:
+  the direction vectors stack into one ``(nall, 2)`` operand so a single
+  load of the ``vals``/``cols`` stream feeds both products
+  (:meth:`QEqMatrix.spmv2`) — the optimization AMD contributed to the
+  Kokkos version.  The historical double-traversal path is kept behind
+  :func:`force_qeq_spmv_mode` as a benchmark baseline.  The equilibrated
+  charges are ``q = s - t * (sum s / sum t)``, which enforces charge
+  neutrality.
+
+* Iterations-to-tolerance is attacked from two more sides: a pluggable
+  **preconditioner** (:func:`make_preconditioner`: ``none``/``jacobi``/
+  ``ssor``) applied inside the dual CG recurrence, and **charge-history
+  extrapolation** (:class:`QEqHistory`): a ring buffer of the last few
+  steps' ``s``/``t`` solutions rides on the atom arrays (so it survives
+  spatial sorting and rank migration) and seeds the CG from a polynomial
+  extrapolation instead of zero.
 
 The solver is written as a generator so distributed runs forward-communicate
-the two direction vectors (staged through the ``rho``/``fp`` scratch fields)
-and allreduce the dot products each iteration through the lockstep protocol.
+the two direction vectors (staged through the ``rho``/``fp`` scratch fields,
+packed into ONE exchange per iteration) and allreduce the dot products each
+iteration through the lockstep protocol.  Convergence is always tested on
+the *true* residual, so every preconditioner/seed combination stops at the
+identical tolerance — the property the iteration-count benchmarks rely on.
 """
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Iterator
 
 import numpy as np
 
-from repro.core.errors import LammpsError, OverflowGuardError
+from repro.core.errors import LammpsError, OverflowGuardError, unknown_choice
 from repro.kokkos.segment import ATOMIC, scatter_mode
 from repro.reaxff.nonbonded import shielded_kernel, taper
 from repro.reaxff.params import ReaxParams
+from repro.tools import metrics
+
+# --------------------------------------------------------------- spmv mode
+#: one matrix traversal feeds both right-hand sides (the paper's fusion)
+FUSED = "fused"
+#: two sequential traversals — the pre-fusion benchmark baseline
+DUAL = "dual"
+
+_SPMV_MODES = (FUSED, DUAL)
+
+_spmv_mode: str = FUSED
+
+
+def qeq_spmv_mode() -> str:
+    """The active dual-RHS traversal mode (``fused`` unless forced)."""
+    return _spmv_mode
+
+
+def set_qeq_spmv_mode(mode: str | None) -> str | None:
+    """Install the traversal mode (None restores ``fused``); return the old.
+
+    Unknown names fail here, at the setter, with a did-you-mean hint — the
+    same contract as the scatter/stencil mode setters.
+    """
+    global _spmv_mode
+    if mode is not None and mode not in _SPMV_MODES:
+        raise ValueError(unknown_choice("qeq spmv mode", mode, _SPMV_MODES))
+    prev = _spmv_mode
+    _spmv_mode = FUSED if mode is None else mode
+    return prev
+
+
+@contextmanager
+def force_qeq_spmv_mode(mode: str | None) -> Iterator[None]:
+    """Pin the dual-RHS traversal mode for a benchmark scope."""
+    prev = set_qeq_spmv_mode(mode)
+    try:
+        yield
+    finally:
+        set_qeq_spmv_mode(prev)
 
 
 @dataclass
@@ -98,6 +154,38 @@ class QEqMatrix:
             out[self._seg_rows] += np.add.reduceat(prod, self._seg_starts)
         return out
 
+    def spmv2(self, vec2_all: np.ndarray) -> np.ndarray:
+        """``A @ [u, v]``: both right-hand sides off ONE matrix traversal.
+
+        ``vec2_all`` is ``(nall, 2)``; one load of ``vals``/``cols`` feeds
+        both products (``vals[:, None] * vec2_all[cols]``), and the same
+        per-rebuild row-segment plan reduces both columns in one
+        ``reduceat(..., axis=0)``.  Each column accumulates in exactly the
+        order :meth:`spmv` uses, so the fused result is bitwise identical
+        to two single-RHS traversals — the equivalence the dual-mode tests
+        and the golden baselines rely on.
+        """
+        rows, cols, vals = self._compact()
+        out = self.diag[:, None] * vec2_all[: self.nlocal]
+        prod = vals[:, None] * vec2_all[cols]
+        if scatter_mode() == ATOMIC:
+            np.add.at(out, rows, prod)
+        elif len(prod):
+            out[self._seg_rows] += np.add.reduceat(prod, self._seg_starts, axis=0)
+        return out
+
+    def traversal_bytes(self, mode: str | None = None) -> int:
+        """Matrix-stream bytes loaded per dual-RHS product.
+
+        Counts the compacted value/column arrays actually traversed: the
+        fused mode streams them once for both right-hand sides, the dual
+        baseline twice.  Vector gathers are excluded — they are identical
+        in both modes, and the point of the fusion is the matrix stream.
+        """
+        self._compact()
+        per_pass = self._vals_flat.nbytes + self._cols_flat.nbytes
+        return per_pass if (mode or qeq_spmv_mode()) == FUSED else 2 * per_pass
+
     @property
     def stored_slots(self) -> int:
         return len(self.vals)
@@ -126,10 +214,22 @@ def build_qeq_matrix(
     offsets = np.zeros(nlocal + 1, dtype=np.int64)
     np.cumsum(numneigh, out=offsets[1:])
     slots = int(offsets[-1])
-    if slots > np.iinfo(np.int32).max:
-        # the slot count itself may exceed int32 — that is precisely why the
-        # offsets are int64; columns (bounded by nall) stay narrow.
-        pass
+    # Appendix B's width split, enforced: the total slot count may
+    # legitimately exceed int32 (that is exactly why the offsets are int64),
+    # but the narrow structures must never overflow silently — a single
+    # row's length lands in the int32 ``nnz`` array, and column indices land
+    # in the int32 ``cols`` array.  Both guards fire BEFORE the flat arrays
+    # are allocated, so an oversized row raises instead of first trying to
+    # materialize gigabytes of slots.
+    if offsets.dtype != np.int64:
+        raise OverflowGuardError(
+            f"QEq row offsets must be int64 (appendix B), got {offsets.dtype}"
+        )
+    if numneigh.size and int(np.max(numneigh)) > np.iinfo(np.int32).max:
+        raise OverflowGuardError(
+            f"QEq row length {int(np.max(numneigh))} exceeds int32 — the "
+            "per-row nnz array is int32 by the appendix-B width split"
+        )
     if nlist.neighbors.size and int(nlist.neighbors.max()) > np.iinfo(np.int32).max:
         raise OverflowGuardError("column index exceeds int32 (appendix B guard)")
 
@@ -164,6 +264,167 @@ def build_qeq_matrix(
     )
 
 
+# ---------------------------------------------------------- preconditioners
+#: preconditioner choices for the dual CG recurrence
+PRECOND_NONE = "none"
+PRECOND_JACOBI = "jacobi"
+PRECOND_SSOR = "ssor"
+PRECONDS = (PRECOND_NONE, PRECOND_JACOBI, PRECOND_SSOR)
+
+
+class JacobiPreconditioner:
+    """``z = r / diag`` — free, the diagonal is already stored."""
+
+    name = PRECOND_JACOBI
+
+    def __init__(self, matrix: QEqMatrix) -> None:
+        self._diag = matrix.diag
+
+    def apply(self, r2: np.ndarray) -> np.ndarray:
+        """``M^-1 @ r2`` for an ``(n, 2)`` residual block."""
+        return r2 / self._diag[:, None]
+
+
+class SSORPreconditioner:
+    """Symmetric SOR (omega = 1): ``M = (D+L) D^-1 (D+U)``.
+
+    Built per matrix build from the compacted COO's *local* block (columns
+    under ``nlocal``): under domain decomposition each rank preconditions
+    with its own diagonal block, which keeps ``M`` symmetric positive
+    definite (``D > 0``) and the converged charges decomposition-invariant
+    — only the iteration count may differ with the rank layout.
+    """
+
+    name = PRECOND_SSOR
+
+    def __init__(self, matrix: QEqMatrix) -> None:
+        import scipy.sparse as sp
+
+        rows, cols, vals = matrix._compact()
+        n = matrix.nlocal
+        self._n = n
+        if n == 0:
+            return
+        local = cols < n
+        r, c, v = rows[local], cols[local], vals[local]
+        diag = sp.diags(matrix.diag)
+        low = r > c
+        up = r < c
+        self._lower = (
+            sp.coo_matrix((v[low], (r[low], c[low])), shape=(n, n)) + diag
+        ).tocsr()
+        self._upper = (
+            sp.coo_matrix((v[up], (r[up], c[up])), shape=(n, n)) + diag
+        ).tocsr()
+        self._diag = matrix.diag
+
+    def apply(self, r2: np.ndarray) -> np.ndarray:
+        from scipy.sparse.linalg import spsolve_triangular
+
+        if self._n == 0:
+            return r2.copy()
+        y = spsolve_triangular(self._lower, r2, lower=True)
+        y *= self._diag[:, None]
+        return spsolve_triangular(self._upper, y, lower=False)
+
+
+def make_preconditioner(name: str, matrix: QEqMatrix):
+    """Preconditioner instance for the dual CG, or None for ``none``.
+
+    Unknown names fail with the shared did-you-mean hint so input-script
+    typos surface at parse/apply time, not deep inside the solve.
+    """
+    if name == PRECOND_NONE:
+        return None
+    if name == PRECOND_JACOBI:
+        return JacobiPreconditioner(matrix)
+    if name == PRECOND_SSOR:
+        return SSORPreconditioner(matrix)
+    raise LammpsError(unknown_choice("qeq_precond", name, PRECONDS))
+
+
+# ------------------------------------------------------ history extrapolation
+#: ring depth: one more slot than the highest extrapolation order
+HISTORY_DEPTH = 4
+
+#: extrapolation order choices (string-valued for input scripts / configs)
+EXTRAP_NONE = "none"
+EXTRAPS = (EXTRAP_NONE, "0", "1", "2", "3")
+
+#: binomial predictor coefficients per order: x0 = sum c_k * x[t-k]
+EXTRAP_COEFFS = {
+    0: (1.0,),
+    1: (2.0, -1.0),
+    2: (3.0, -3.0, 1.0),
+    3: (4.0, -6.0, 4.0, -1.0),
+}
+
+
+class QEqHistory:
+    """Ring buffer of recent ``s``/``t`` solutions, living on the atom arrays.
+
+    The buffers are registered custom per-atom fields
+    (:meth:`repro.core.atom.AtomVec.add_custom`), so they are permuted by
+    spatial sorting and migrate with their atoms through ``exchange`` — the
+    FIRE ``v``-remap lesson, except the history must *survive* ownership
+    changes rather than reset.  A per-atom valid-count field clamps each
+    atom's usable extrapolation order, so freshly started (or historically
+    shallow) atoms fall back to the highest order their ring supports.
+    """
+
+    FIELD = "qeq_hist"
+    COUNT_FIELD = "qeq_hist_n"
+
+    def __init__(self, atom) -> None:
+        self.atom = atom
+        # columns [0:D) are s (newest first), [D:2D) are t
+        atom.add_custom(self.FIELD, 2 * HISTORY_DEPTH)
+        atom.add_custom(self.COUNT_FIELD, 1, dtype=np.int32)
+
+    def push(self, s: np.ndarray, t: np.ndarray) -> None:
+        """Shift the ring and record this step's converged solutions."""
+        atom = self.atom
+        n = atom.nlocal
+        d = HISTORY_DEPTH
+        h = atom.custom[self.FIELD]
+        h[:n, 1:d] = h[:n, 0 : d - 1]
+        h[:n, 0] = s
+        h[:n, d + 1 : 2 * d] = h[:n, d : 2 * d - 1]
+        h[:n, d] = t
+        cnt = atom.custom[self.COUNT_FIELD]
+        np.minimum(cnt[:n, 0] + 1, d, out=cnt[:n, 0])
+
+    def seed(self, order: int) -> tuple[np.ndarray, np.ndarray]:
+        """Polynomial extrapolation ``(s0, t0)`` at the requested order.
+
+        Per atom, the order is clamped to what its ring holds (an atom with
+        k recorded solutions extrapolates at order k-1, down to a zero seed
+        for an empty ring), so migration and fresh starts degrade gracefully
+        instead of polluting the Krylov seed.
+        """
+        if order not in EXTRAP_COEFFS:
+            raise LammpsError(
+                unknown_choice("qeq_extrap order", order, sorted(EXTRAP_COEFFS))
+            )
+        atom = self.atom
+        n = atom.nlocal
+        d = HISTORY_DEPTH
+        h = atom.custom[self.FIELD][:n]
+        cnt = atom.custom[self.COUNT_FIELD][:n, 0]
+        avail = np.minimum(cnt.astype(np.int64) - 1, order)
+        s0 = np.zeros(n)
+        t0 = np.zeros(n)
+        for p in range(order + 1):
+            rows = np.flatnonzero(avail == p)
+            if not rows.size:
+                continue
+            c = np.asarray(EXTRAP_COEFFS[p])
+            s0[rows] = h[rows, : p + 1] @ c
+            t0[rows] = h[rows, d : d + p + 1] @ c
+        return s0, t0
+
+
+# ------------------------------------------------------------------ the solve
 def fused_cg_gen(
     lmp,
     matrix: QEqMatrix,
@@ -173,76 +434,124 @@ def fused_cg_gen(
     tol: float = 1e-8,
     maxiter: int = 200,
     out: dict | None = None,
+    precond=None,
+    x0: tuple[np.ndarray, np.ndarray] | None = None,
 ) -> Iterator[None]:
     """Fused dual conjugate gradient: solve ``A s = b1`` and ``A t = b2``.
 
     One generator drives both recurrences so each iteration traverses the
     matrix once (section 4.2.3's kernel fusion / work batching: the two
-    right-hand-side streams hide behind the single matrix-element stream).
+    right-hand-side streams hide behind the single matrix-element stream —
+    :meth:`QEqMatrix.spmv2`, unless the ``dual`` baseline mode is forced).
 
-    Results land in ``out['s']``, ``out['t']``, ``out['iterations']``.
+    ``precond`` (from :func:`make_preconditioner`) turns the recurrence into
+    preconditioned CG; ``x0 = (s0, t0)`` seeds the iterates (one extra
+    traversal computes the true seed residual).  Convergence is ALWAYS
+    tested on the unpreconditioned residual against ``|b|^2 * tol^2``, so
+    every configuration stops at the identical tolerance.  With
+    ``precond=None`` and ``x0=None`` the iterates are bitwise identical to
+    the historical plain-CG path.
+
+    Results land in ``out['s']``, ``out['t']``, ``out['iterations']``, plus
+    ``out['seeded']``, ``out['spmv_traversals']``, ``out['spmv_bytes']``.
     Distributed: direction vectors are staged through the atom scratch
-    fields ``rho``/``fp`` for ghost exchange; dot products allreduce through
-    the lockstep protocol.
+    fields ``rho``/``fp`` and ghost-exchanged as ONE packed message per
+    swap per iteration; dot products allreduce through the lockstep
+    protocol.
     """
     if out is None:
         raise LammpsError("fused_cg_gen requires an output dict")
     atom = lmp.atom
     n = matrix.nlocal
     nall = atom.nall
-    s = np.zeros(n)
-    t = np.zeros(n)
-    r1 = b1.copy()
-    r2 = b2.copy()
-    p1 = r1.copy()
-    p2 = r2.copy()
+
+    def _stage_and_comm(v1, v2) -> Iterator[None]:
+        # both direction vectors ride one forward exchange per swap
+        atom.rho[:nall] = 0.0
+        atom.fp[:nall] = 0.0
+        atom.rho[:n] = v1
+        atom.fp[:n] = v2
+        yield from lmp.comm_brick.forward_comm_fields(atom, ("rho", "fp"))
+
+    def _dual_spmv() -> np.ndarray:
+        if qeq_spmv_mode() == DUAL:
+            # benchmark baseline: two full matrix traversals
+            return np.column_stack(
+                (matrix.spmv(atom.rho[:nall]), matrix.spmv(atom.fp[:nall]))
+            )
+        vec2 = np.column_stack((atom.rho[:nall], atom.fp[:nall]))
+        return matrix.spmv2(vec2)
+
+    traversals = 0
+    if x0 is None:
+        s = np.zeros(n)
+        t = np.zeros(n)
+        r1 = b1.copy()
+        r2 = b2.copy()
+    else:
+        s = np.array(x0[0], dtype=float, copy=True)
+        t = np.array(x0[1], dtype=float, copy=True)
+        yield from _stage_and_comm(s, t)
+        ax = _dual_spmv()
+        traversals += 1
+        r1 = b1 - ax[:, 0]
+        r2 = b2 - ax[:, 1]
+
+    if precond is None:
+        # z aliases r: after every in-place residual update z IS the new
+        # residual, which reduces PCG to the historical plain recurrence
+        z1, z2 = r1, r2
+    else:
+        z = precond.apply(np.column_stack((r1, r2)))
+        z1, z2 = z[:, 0], z[:, 1]
+    p1 = z1.copy()
+    p2 = z2.copy()
 
     def _reduce(key, values) -> np.ndarray:
         lmp.world.reduce_contribute(key, np.asarray(values))
         return key
 
     key = ("qeq_rr0", lmp.update.ntimestep)
-    _reduce(key, [r1 @ r1, r2 @ r2, b1 @ b1, b2 @ b2])
+    _reduce(key, [r1 @ r1, r2 @ r2, b1 @ b1, b2 @ b2, r1 @ z1, r2 @ z2])
     yield
-    rr1, rr2, bb1, bb2 = np.atleast_1d(lmp.world.reduce_result(key))
+    rr1, rr2, bb1, bb2, rz1, rz2 = np.atleast_1d(lmp.world.reduce_result(key))
     stop1 = max(bb1, 1e-300) * tol * tol
     stop2 = max(bb2, 1e-300) * tol * tol
 
     it = 0
     while it < maxiter and (rr1 > stop1 or rr2 > stop2):
-        # ghost values of both direction vectors via one comm pass each
-        atom.rho[:nall] = 0.0
-        atom.fp[:nall] = 0.0
-        atom.rho[:n] = p1
-        atom.fp[:n] = p2
-        yield from lmp.comm_brick.forward_comm_field(atom, "rho")
-        yield from lmp.comm_brick.forward_comm_field(atom, "fp")
-
+        yield from _stage_and_comm(p1, p2)
         # fused matrix traversal: one load of A feeds both products
-        ap1 = matrix.spmv(atom.rho[:nall])
-        ap2 = matrix.spmv(atom.fp[:nall])
+        ap = _dual_spmv()
+        traversals += 1
+        ap1 = ap[:, 0]
+        ap2 = ap[:, 1]
 
         key = ("qeq_pap", lmp.update.ntimestep, it)
         _reduce(key, [p1 @ ap1, p2 @ ap2])
         yield
         pap1, pap2 = np.atleast_1d(lmp.world.reduce_result(key))
 
-        a1 = rr1 / pap1 if rr1 > stop1 else 0.0
-        a2 = rr2 / pap2 if rr2 > stop2 else 0.0
+        a1 = rz1 / pap1 if rr1 > stop1 else 0.0
+        a2 = rz2 / pap2 if rr2 > stop2 else 0.0
         s += a1 * p1
         t += a2 * p2
         r1 -= a1 * ap1
         r2 -= a2 * ap2
+        if precond is not None:
+            z = precond.apply(np.column_stack((r1, r2)))
+            z1, z2 = z[:, 0], z[:, 1]
 
         key = ("qeq_rr", lmp.update.ntimestep, it)
-        _reduce(key, [r1 @ r1, r2 @ r2])
+        _reduce(key, [r1 @ r1, r2 @ r2, r1 @ z1, r2 @ z2])
         yield
-        new1, new2 = np.atleast_1d(lmp.world.reduce_result(key))
-        beta1 = new1 / rr1 if rr1 > stop1 else 0.0
-        beta2 = new2 / rr2 if rr2 > stop2 else 0.0
-        p1 = r1 + beta1 * p1
-        p2 = r2 + beta2 * p2
+        new1, new2, newz1, newz2 = np.atleast_1d(lmp.world.reduce_result(key))
+        beta1 = newz1 / rz1 if rr1 > stop1 else 0.0
+        beta2 = newz2 / rz2 if rr2 > stop2 else 0.0
+        p1 = z1 + beta1 * p1
+        p2 = z2 + beta2 * p2
         rr1, rr2 = new1, new2
+        rz1, rz2 = newz1, newz2
         it += 1
 
     if rr1 > stop1 or rr2 > stop2:
@@ -253,6 +562,17 @@ def fused_cg_gen(
     out["s"] = s
     out["t"] = t
     out["iterations"] = it
+    out["seeded"] = x0 is not None
+    out["spmv_traversals"] = traversals
+    out["spmv_bytes"] = matrix.traversal_bytes() * traversals
+    if metrics.SINKS:
+        pname = precond.name if precond is not None else PRECOND_NONE
+        seeded = "yes" if x0 is not None else "no"
+        metrics.inc("qeq_solves_total", precond=pname, seeded=seeded)
+        metrics.inc("qeq_iterations_total", it, precond=pname, seeded=seeded)
+        metrics.inc(
+            "qeq_spmv_bytes_total", out["spmv_bytes"], mode=qeq_spmv_mode()
+        )
 
 
 def equilibrate_charges_gen(
@@ -263,12 +583,16 @@ def equilibrate_charges_gen(
     *,
     tol: float = 1e-8,
     maxiter: int = 200,
+    precond=None,
+    x0: tuple[np.ndarray, np.ndarray] | None = None,
 ) -> Iterator[None]:
     """Full QEq: dual solve + neutrality projection.
 
     ``chi_local`` is the per-owned-atom electronegativity (species-mapped by
     the caller).  ``q_i = s_i - t_i * (sum s / sum t)`` (global sums —
-    reduced).  Results land in ``out['q']`` and ``out['iterations']``.
+    reduced).  Results land in ``out['q']``, ``out['s']``/``out['t']`` (for
+    the history ring), ``out['iterations']``, and the solver's accounting
+    keys (``seeded``/``spmv_traversals``/``spmv_bytes``).
     """
     n = matrix.nlocal
     if chi_local.shape != (n,):
@@ -276,7 +600,10 @@ def equilibrate_charges_gen(
     b1 = -chi_local
     b2 = -np.ones(n)
     sol: dict = {}
-    yield from fused_cg_gen(lmp, matrix, b1, b2, tol=tol, maxiter=maxiter, out=sol)
+    yield from fused_cg_gen(
+        lmp, matrix, b1, b2, tol=tol, maxiter=maxiter, out=sol,
+        precond=precond, x0=x0,
+    )
     key = ("qeq_neutral", lmp.update.ntimestep)
     lmp.world.reduce_contribute(key, np.array([sol["s"].sum(), sol["t"].sum()]))
     yield
@@ -284,4 +611,5 @@ def equilibrate_charges_gen(
     if abs(tsum) < 1e-300:
         raise LammpsError("QEq neutrality projection degenerate (sum t = 0)")
     out["q"] = sol["s"] - sol["t"] * (ssum / tsum)
-    out["iterations"] = sol["iterations"]
+    for keep in ("s", "t", "iterations", "seeded", "spmv_traversals", "spmv_bytes"):
+        out[keep] = sol[keep]

@@ -460,6 +460,20 @@ class MetricsTool(Tool):
         self.graph_fused_nodes = r.counter(
             "graph_fused_nodes_total", "dispatches folded into fused groups, by plan"
         )
+        # QEq solver accounting.  The CG generator emits through metrics.inc
+        # per solve; registering the families up-front keeps them visible
+        # (at zero) in --metrics-out exports for ReaxFF-less runs too.
+        self.qeq_solves = r.counter(
+            "qeq_solves_total", "QEq dual CG solves by preconditioner/seeding"
+        )
+        self.qeq_iterations = r.counter(
+            "qeq_iterations_total",
+            "QEq CG iterations-to-tolerance by preconditioner/seeding",
+        )
+        self.qeq_spmv_bytes = r.counter(
+            "qeq_spmv_bytes_total",
+            "QEq matrix-stream bytes traversed, by spmv mode (fused/dual)",
+        )
 
     # ------------------------------------------------------------- kernels
     def _end_kernel(self, ev: KernelEvent) -> None:

@@ -47,6 +47,18 @@ OVERLAP = "overlap"
 GRAPH = "graph"
 ALL_KEYS = (SCATTER, STENCIL, NEIGH, NEWTON, SORT, OVERLAP, GRAPH)
 
+#: QEq solver dimensions — present only when the workload's pair style is
+#: ReaxFF (it exposes ``set_qeq_options``); other styles never see them.
+QEQ_PRECOND = "qeq_precond"
+QEQ_EXTRAP = "qeq_extrap"
+QEQ_TOL = "qeq_tol"
+QEQ_KEYS = (QEQ_PRECOND, QEQ_EXTRAP, QEQ_TOL)
+
+
+def qeq_capable(root) -> bool:
+    """Whether the active pair style carries the QEq solver knobs."""
+    return hasattr(root.pair, "set_qeq_options")
+
 #: Kernels the tuner measures independently.
 PAIR_KERNEL = "pair_force"
 NEIGHBOR_KERNEL = "neighbor_build"
@@ -94,20 +106,37 @@ def enumerate_pair_configs(target) -> list[dict]:
     overlaps: tuple[str | None, ...] = (None,)
     if len(ranks) > 1 and getattr(root.pair, "supports_overlap", False):
         overlaps = ("off", "on")
+    # QEq knobs multiply the product only for ReaxFF workloads: every
+    # preconditioner crossed with cold start vs the order-2 extrapolation
+    # that the qeq bench showed pays off.  Tolerance is snapshot-only (it
+    # changes accuracy, not just speed) but keys every candidate so the
+    # ProfileStore priors never mix tolerances.
+    qeq_cells: tuple[dict, ...] = ({},)
+    if qeq_capable(root):
+        from repro.reaxff.qeq import EXTRAP_NONE, PRECONDS
+
+        tol = str(root.pair.qeq_tol)
+        qeq_cells = tuple(
+            {QEQ_PRECOND: precond, QEQ_EXTRAP: extrap, QEQ_TOL: tol}
+            for precond in PRECONDS
+            for extrap in (EXTRAP_NONE, "2")
+        )
     configs = []
     for neigh, newton in list_cells(root):
         for scatter in (ATOMIC, SEGMENTED):
             for graph in (GRAPH_OFF, GRAPH_ON):
                 for overlap in overlaps:
-                    cfg = {
-                        SCATTER: scatter,
-                        NEIGH: neigh,
-                        NEWTON: newton,
-                        GRAPH: graph,
-                    }
-                    if overlap is not None:
-                        cfg[OVERLAP] = overlap
-                    configs.append(cfg)
+                    for qeq in qeq_cells:
+                        cfg = {
+                            SCATTER: scatter,
+                            NEIGH: neigh,
+                            NEWTON: newton,
+                            GRAPH: graph,
+                            **qeq,
+                        }
+                        if overlap is not None:
+                            cfg[OVERLAP] = overlap
+                        configs.append(cfg)
     return configs
 
 
@@ -125,8 +154,13 @@ def enumerate_neighbor_configs(target) -> list[dict]:
     ]
 
 
-def snapshot_config(target, keys=ALL_KEYS) -> dict:
-    """The currently-active value of each requested dimension."""
+def snapshot_config(target, keys=None) -> dict:
+    """The currently-active value of each requested dimension.
+
+    With ``keys=None`` the snapshot covers every dimension the target
+    exposes: ``ALL_KEYS`` plus the QEq dimensions when the pair style is
+    ReaxFF.
+    """
     root = ranks_of(target)[0]
     style, newton = root.pair.neighbor_request()
     full = {
@@ -139,6 +173,13 @@ def snapshot_config(target, keys=ALL_KEYS) -> dict:
         OVERLAP: "on" if getattr(root, "overlap_comm", False) else "off",
         GRAPH: graph_mode(),
     }
+    capable = qeq_capable(root)
+    if capable:
+        full[QEQ_PRECOND] = root.pair.qeq_precond
+        full[QEQ_EXTRAP] = root.pair.qeq_extrap
+        full[QEQ_TOL] = str(root.pair.qeq_tol)
+    if keys is None:
+        keys = ALL_KEYS + QEQ_KEYS if capable else ALL_KEYS
     return {key: full[key] for key in keys}
 
 
@@ -174,6 +215,14 @@ def apply_config(target, config: dict) -> None:
             lmp.sort_every = int(config[SORT])
         if OVERLAP in config:
             lmp.overlap_comm = config[OVERLAP] == "on"
+        if hasattr(pair, "set_qeq_options") and any(
+            key in config for key in QEQ_KEYS
+        ):
+            pair.set_qeq_options(
+                precond=config.get(QEQ_PRECOND),
+                extrap=config.get(QEQ_EXTRAP),
+                tol=config.get(QEQ_TOL),
+            )
 
 
 def short_label(config: dict) -> str:
@@ -194,4 +243,8 @@ def short_label(config: dict) -> str:
         parts.append("ov")
     if config.get(GRAPH) == GRAPH_ON:
         parts.append("gr")
+    if config.get(QEQ_PRECOND, "none") != "none":
+        parts.append("p" + config[QEQ_PRECOND][:1])
+    if config.get(QEQ_EXTRAP, "none") != "none":
+        parts.append("x" + config[QEQ_EXTRAP])
     return "/".join(parts) or "-"

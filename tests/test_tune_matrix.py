@@ -37,6 +37,8 @@ from repro.kokkos.segment import (
     set_scatter_mode,
 )
 from repro.parallel.driver import drain
+from repro.reaxff.qeq import set_qeq_spmv_mode
+from repro.tune import space as tspace
 from repro.workloads.hns import setup_hns
 
 SCATTERS = (ATOMIC, SEGMENTED)
@@ -52,6 +54,7 @@ def _reset_modes():
     set_scatter_mode(None)
     set_stencil_mode(None)
     set_graph_mode(None)
+    set_qeq_spmv_mode(None)
 
 
 # ------------------------------------------------------------- melt matrix
@@ -104,6 +107,85 @@ def test_hns_mode_matrix_forces_and_energy_agree():
             f, ref_f, rtol=1e-6, atol=1e-8, err_msg=f"forces differ in {tag}"
         )
         assert e == pytest.approx(ref_e, rel=1e-7), f"energy differs in {tag}"
+
+
+# ---------------------------------------------------------- qeq dimensions
+def _hns_lmp(pair_style="reaxff cutoff 5.0"):
+    lmp = Lammps(device=None)
+    setup_hns(lmp, 1, 2, 2, pair_style=pair_style)
+    return lmp
+
+
+def test_hns_qeq_matrix_precond_extrap_cells_agree():
+    """The tuner may switch preconditioner/extrapolation mid-run: every
+    qeq cell must land on the same trajectory within solver round-off."""
+    ref_q = ref_f = None
+    for precond, extrap in itertools.product(
+        ("none", "jacobi", "ssor"), ("none", "2")
+    ):
+        lmp = _hns_lmp()
+        lmp.pair.set_qeq_options(precond=precond, extrap=extrap)
+        lmp.run(4)
+        q, f = gather_by_tag(lmp, "q"), gather_by_tag(lmp, "f")
+        tag = f"{precond}/{extrap}"
+        if ref_q is None:
+            ref_q, ref_f = q, f
+            continue
+        np.testing.assert_allclose(
+            q, ref_q, atol=1e-6, err_msg=f"charges differ in {tag}"
+        )
+        np.testing.assert_allclose(
+            f, ref_f, rtol=1e-5, atol=1e-6, err_msg=f"forces differ in {tag}"
+        )
+
+
+def test_qeq_dimensions_enumerated_only_for_reaxff():
+    lmp = _hns_lmp()
+    assert tspace.qeq_capable(lmp)
+    configs = tspace.enumerate_pair_configs(lmp)
+    # 3 preconds x 2 extraps multiply the reaxff product
+    assert len({cfg[tspace.QEQ_PRECOND] for cfg in configs}) == 3
+    assert {cfg[tspace.QEQ_EXTRAP] for cfg in configs} == {"none", "2"}
+    assert all(cfg[tspace.QEQ_TOL] == "1e-08" for cfg in configs)
+
+    melt = make_melt(suffix="kk")
+    assert not tspace.qeq_capable(melt)
+    for cfg in tspace.enumerate_pair_configs(melt):
+        assert tspace.QEQ_PRECOND not in cfg
+
+
+def test_qeq_snapshot_and_apply_roundtrip():
+    lmp = _hns_lmp()
+    snap = tspace.snapshot_config(lmp)
+    assert snap[tspace.QEQ_PRECOND] == "none"
+    assert snap[tspace.QEQ_EXTRAP] == "none"
+    tspace.apply_config(
+        lmp,
+        {
+            tspace.QEQ_PRECOND: "jacobi",
+            tspace.QEQ_EXTRAP: "2",
+            tspace.QEQ_TOL: "1e-09",
+        },
+    )
+    assert lmp.pair.qeq_precond == "jacobi"
+    assert lmp.pair.qeq_extrap == "2"
+    assert lmp.pair.qeq_tol == 1e-09
+    snap = tspace.snapshot_config(lmp)
+    assert snap[tspace.QEQ_PRECOND] == "jacobi"
+    # restoring the baseline snapshot undoes the challenger's knobs
+    tspace.apply_config(lmp, {tspace.QEQ_PRECOND: "none"})
+    assert lmp.pair.qeq_precond == "none"
+
+    melt = make_melt(suffix="kk")
+    assert tspace.QEQ_PRECOND not in tspace.snapshot_config(melt)
+
+
+def test_qeq_short_label():
+    label = tspace.short_label(
+        {tspace.QEQ_PRECOND: "jacobi", tspace.QEQ_EXTRAP: "2"}
+    )
+    assert "pj" in label and "x2" in label
+    assert tspace.short_label({tspace.QEQ_PRECOND: "none"}) == "-"
 
 
 # --------------------------------------------------- setter validation fix
