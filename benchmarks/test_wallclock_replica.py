@@ -1,0 +1,67 @@
+"""Wall-clock replica batching: R stacked melt runs vs R solo runs.
+
+Runs the replica bench (16 LJ melt replicas, 108 atoms each) and asserts
+the PR's acceptance criteria: stepping the batch through one set of
+vectorized kernels must be ≥2× faster per step than the 16 sequential solo
+runs, with bitwise-identical per-replica trajectories (the bench itself
+raises if the batch drifts).  Results land in ``BENCH_replica.json`` at
+the repo root so each PR extends the recorded performance trajectory.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+from conftest import emit
+
+from repro.bench.replica_bench import (
+    CELLS,
+    NREPLICAS,
+    format_replica_report,
+    run_replica_bench,
+)
+from repro.bench.stats import SCHEMA_VERSION, validate_bench
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_replica.json"
+
+
+@pytest.fixture(scope="module")
+def replica_bench():
+    return run_replica_bench(out_path=str(BENCH_JSON), quiet=True)
+
+
+def melt(results: dict) -> dict:
+    return next(w for w in results["workloads"] if w["workload"] == "melt")
+
+
+def test_batched_at_least_2x_per_step(replica_bench):
+    """The acceptance margin: one stacked batch ≥2× faster than R solos."""
+    row = melt(replica_bench)
+    assert row["speedup"] >= 2.0, (
+        f"batched stepping only {row['speedup']:.2f}x faster than "
+        f"{row['replicas']} sequential runs"
+    )
+
+
+def test_bench_regime_is_small_replicas(replica_bench):
+    """Batching targets the dispatch-overhead regime: many tiny systems."""
+    row = melt(replica_bench)
+    assert row["replicas"] == NREPLICAS == 16
+    assert row["natoms"] == 4 * CELLS**3  # fcc melt cell
+    assert row["pair_style"] == "lj/cut"
+
+
+def test_bench_json_recorded_with_stats(replica_bench):
+    assert BENCH_JSON.exists()
+    assert replica_bench["benchmark"] == "replica"
+    assert replica_bench["schema_version"] == SCHEMA_VERSION
+    validate_bench(replica_bench)
+    row = melt(replica_bench)
+    for phase in ("setup", "run"):
+        assert set(row[f"{phase}_seconds"]) == {"sequential", "batched"}
+        for mode in ("sequential", "batched"):
+            block = row[f"{phase}_stats"][mode]
+            assert block["repeats"] == row["repeats"]
+            assert block["median"] >= block["min"] > 0
+    emit(format_replica_report(replica_bench))

@@ -6,6 +6,7 @@ Mirrors the LAMMPS binary's common flags::
     python -m repro -in melt.in -k on -sf kk         # simulated H100, /kk styles
     python -m repro -in melt.in -k on gpu MI300A -sf kk
     python -m repro -in melt.in -np 4                # 4 simulated MPI ranks
+    python -m repro -in melt.in -r 16                # 16 batched replicas
     python -m repro -in melt.in -var cells 6 -var temp 1.2
     python -m repro --bench hotpath                  # refresh BENCH_hotpath.json
     python -m repro -in melt.in --tools space-time-stack,chrome-trace --tool-out out/
@@ -37,7 +38,7 @@ import repro.potentials  # noqa: F401
 import repro.reaxff  # noqa: F401
 import repro.snap  # noqa: F401
 from repro.bench import bench_names, run_bench
-from repro.core import Ensemble, Lammps
+from repro.core import Ensemble, Lammps, ReplicaSet
 from repro.tools import create_tools, tool_names
 from repro.tools import registry as kp
 
@@ -98,6 +99,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="global accelerator suffix (kk, kk/host, gpu)")
     p.add_argument("-np", "--nranks", type=int, default=1,
                    help="simulated MPI ranks (default 1)")
+    p.add_argument("-r", "--replicas", type=int, default=1, metavar="R",
+                   help="run the script as R batched replicas through one "
+                   "set of vectorized kernels (single-rank workloads only; "
+                   "each replica sees an equal-style 'replica' index "
+                   "variable)")
     p.add_argument("-var", nargs=2, action="append", default=[],
                    metavar=("NAME", "VALUE"),
                    help="define an equal-style variable (repeatable)")
@@ -177,7 +183,18 @@ def main(argv: list[str] | None = None) -> int:
         tools.append(tool)
 
     try:
-        if args.nranks > 1:
+        if args.replicas > 1:
+            if args.nranks > 1:
+                parser.error("--replicas batches single-rank workloads; "
+                             "it cannot be combined with -np")
+            if args.autotune is not None:
+                parser.error("--replicas cannot be combined with --autotune; "
+                             "tune the solo workload first")
+            target = ReplicaSet(
+                args.replicas, device=device, suffix=args.suffix,
+                quiet=args.quiet,
+            )
+        elif args.nranks > 1:
             target = Ensemble(
                 args.nranks, device=device, suffix=args.suffix, quiet=args.quiet
             )

@@ -29,6 +29,7 @@ from repro.bench.autotune import format_autotune_report, run_autotune_bench
 from repro.bench.graph_bench import format_graph_report, run_graph_bench
 from repro.bench.hotpath import format_hotpath_report, run_hotpath_bench
 from repro.bench.qeq_bench import format_qeq_report, run_qeq_bench
+from repro.bench.replica_bench import format_replica_report, run_replica_bench
 from repro.bench.neighbor import (
     format_neighbor_report,
     run_neighbor_bench,
@@ -70,6 +71,8 @@ __all__ = [
     "format_neighbor_report",
     "run_qeq_bench",
     "format_qeq_report",
+    "run_replica_bench",
+    "format_replica_report",
     "validate_neighbor_bench",
     "SCHEMA_VERSION",
     "summarize",

@@ -1,0 +1,161 @@
+"""Wall-clock replica-batching benchmark: R stacked runs vs R solo runs.
+
+Small systems leave most of each kernel dispatch's fixed overhead unamortized
+— exactly the regime the paper's work-batching results target.  This bench
+runs R small LJ melt replicas two ways:
+
+* **sequential** — R fresh solo ``run(steps)`` calls, the baseline a
+  parameter-sweep script would pay today;
+* **batched** — the same R replicas folded into one
+  :class:`~repro.replica.batch.ReplicaBatch` and advanced with one set of
+  vectorized kernels over R-times-longer stacked arrays.
+
+The headline ``run`` timing covers the stepping phase only — replica
+construction and setup are identical work in both paths (``add_replica``
+performs the same setup a solo ``run`` does) and are recorded separately as
+``setup``, so the per-step speedup is not diluted by shared fixed cost.
+Per-replica trajectories must be bitwise identical between the two paths —
+asserted here on every repeat, not just in the test suite — so the speedup
+is never bought with drift.  The acceptance floor (batched >= 2x faster per
+step) is enforced by ``benchmarks/test_wallclock_replica.py`` against the
+JSON this writes.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import numpy as np
+
+import repro.potentials  # noqa: F401  (register pair styles)
+from repro.bench.hotpath import _record
+from repro.bench.registry import register_bench
+from repro.bench.stats import SCHEMA_VERSION, validate_bench
+from repro.core import Lammps
+from repro.replica import ReplicaBatch
+from repro.workloads import ReplicaSpec
+
+#: default output file (repo-root relative when run from the checkout)
+DEFAULT_OUT = "BENCH_replica.json"
+
+#: replica count and melt size: 16 x 32 atoms — each replica far below
+#: kernel-saturation size, the regime batching exists for.
+NREPLICAS = 16
+CELLS = 2
+
+
+def _specs() -> list[ReplicaSpec]:
+    # distinct velocity seeds so the batch carries 16 genuinely different
+    # trajectories (identical replicas could hide indexing bugs)
+    return [
+        ReplicaSpec(family="melt", cells=CELLS, steps=0, seed=87287 + 13 * k)
+        for k in range(NREPLICAS)
+    ]
+
+
+def _solo_state(lmp: Lammps) -> tuple[np.ndarray, np.ndarray]:
+    n = lmp.atom.nlocal
+    return lmp.atom.x[:n].copy(), lmp.atom.v[:n].copy()
+
+
+def bench_replica_melt(steps: int = 100, repeats: int = 3) -> dict:
+    row: dict = {
+        "workload": "melt",
+        "pair_style": "lj/cut",
+        "replicas": NREPLICAS,
+        "natoms": None,
+        "steps": steps,
+        "repeats": repeats,
+    }
+    seq_setup: list[float] = []
+    seq_samples: list[float] = []
+    bat_setup: list[float] = []
+    bat_samples: list[float] = []
+    # interleave the two modes within each repeat: systematic machine drift
+    # (cache/allocator/governor state) then lands on both columns of the
+    # same repeat instead of biasing one mode's entire sample set
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        states = [spec.build() for spec in _specs()]
+        seq_setup.append(time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        for lmp in states:
+            lmp.run(steps)
+        seq_samples.append(time.perf_counter() - t0)
+        reference = [_solo_state(lmp) for lmp in states]
+        row["natoms"] = int(states[0].natoms_total)
+
+        t0 = time.perf_counter()
+        batch = ReplicaBatch(label="bench")
+        members = [spec.build() for spec in _specs()]
+        for lmp in members:
+            batch.add_replica(lmp)
+        bat_setup.append(time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        batch.step(steps)
+        bat_samples.append(time.perf_counter() - t0)
+        batch.finish()
+        for lmp, (x, v) in zip(members, reference):
+            n = lmp.atom.nlocal
+            if not (
+                np.array_equal(lmp.atom.x[:n], x)
+                and np.array_equal(lmp.atom.v[:n], v)
+            ):
+                raise ValueError(
+                    "replica bench: batched trajectory diverged bitwise "
+                    "from the solo reference"
+                )
+    _record(row, "setup", "sequential", seq_setup)
+    _record(row, "run", "sequential", seq_samples)
+    _record(row, "setup", "batched", bat_setup)
+    _record(row, "run", "batched", bat_samples)
+
+    row["speedup"] = row["run_seconds"]["sequential"] / row["run_seconds"]["batched"]
+    return row
+
+
+@register_bench("replica")
+def run_replica_bench(
+    *,
+    steps: int = 100,
+    repeats: int = 3,
+    out_path: str | None = DEFAULT_OUT,
+    quiet: bool = False,
+) -> dict:
+    """Run the replica-batching bench; write BENCH_replica.json."""
+    results = {
+        "benchmark": "replica",
+        "units": "seconds (best-of-repeats wall clock)",
+        "schema_version": SCHEMA_VERSION,
+        "workloads": [bench_replica_melt(steps=steps, repeats=repeats)],
+    }
+    validate_bench(results)
+    if out_path:
+        with open(out_path, "w") as fh:
+            json.dump(results, fh, indent=2)
+            fh.write("\n")
+    if not quiet:
+        print(format_replica_report(results))
+    return results
+
+
+def format_replica_report(results: dict) -> str:
+    lines = ["Replica batching: R solo runs vs one stacked batch (run phase)"]
+    for row in results["workloads"]:
+        seq = row["run_seconds"]["sequential"]
+        bat = row["run_seconds"]["batched"]
+        lines.append(
+            f"  {row['workload']} R={row['replicas']} "
+            f"natoms={row['natoms']}/replica steps={row['steps']}"
+        )
+        lines.append(
+            f"    sequential {seq * 1e3:9.2f} ms   batched {bat * 1e3:9.2f} ms"
+            f"   speedup {row['speedup']:.2f}x (bitwise-identical trajectories)"
+        )
+        lines.append(
+            f"    setup (untimed in headline): sequential "
+            f"{row['setup_seconds']['sequential'] * 1e3:.2f} ms   batched "
+            f"{row['setup_seconds']['batched'] * 1e3:.2f} ms"
+        )
+    return "\n".join(lines)

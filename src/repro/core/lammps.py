@@ -653,3 +653,94 @@ class Ensemble:
             assert atom is not None
             out[atom.tag[: atom.nlocal] - 1] = atom.f[: atom.nlocal]
         return out
+
+
+class ReplicaSet:
+    """R independent copies of one script, advanced through batched kernels.
+
+    The Ensemble-compatible driver entry for the replica engine
+    (:mod:`repro.replica`): ``command``/``commands_string`` broadcast setup
+    commands to every replica, and ``run N`` packs all of them into one
+    :class:`~repro.replica.batch.ReplicaBatch` — one vectorized
+    force/integrate/comm stream over R-times-longer arrays — instead of R
+    sequential solo runs.  Per-replica trajectories and thermo histories
+    (``set.replicas[k].thermo.history``) are bitwise identical to solo runs.
+
+    Each replica sees an equal-style ``replica`` variable holding its index,
+    so scripts can decorrelate per-replica state::
+
+        velocity all create 1.44 8728${replica}
+
+    Only single-rank batchable workloads qualify (host ``lj/cut``/``eam/fs``,
+    ``fix all nve``, no dumps/kspace); ``run`` raises otherwise.  Use
+    :class:`Ensemble` to scale one simulation across ranks; use a ReplicaSet
+    to scale *many small simulations* onto one set of kernels.
+    """
+
+    def __init__(
+        self,
+        nreplicas: int,
+        device: str | None = None,
+        *,
+        suffix: str | None = None,
+        quiet: bool = False,
+        label: str = "replica",
+    ) -> None:
+        if nreplicas < 1:
+            raise LammpsError("a ReplicaSet needs at least one replica")
+        self.replicas = [
+            Lammps(device, suffix=suffix, quiet=quiet) for _ in range(nreplicas)
+        ]
+        for i, lmp in enumerate(self.replicas):
+            # set directly (not via `variable ... equal`) so ${replica}
+            # substitutes as the bare integer, splice-friendly in seeds
+            lmp.variables["replica"] = i
+        # only replica 0 speaks, like the root rank of an Ensemble
+        for lmp in self.replicas[1:]:
+            lmp.thermo.quiet = True
+        self.label = label
+        #: the batch driving the most recent ``run`` (perf introspection)
+        self.last_batch = None
+
+    def command(self, line: str) -> None:
+        tokens = line.split("#", 1)[0].split()
+        if tokens and tokens[0] == "run":
+            self.run(int(tokens[1]))
+            return
+        if tokens and tokens[0] == "minimize":
+            raise LammpsError(
+                "replica sets cannot minimize; minimize solo, then batch the runs"
+            )
+        for lmp in self.replicas:
+            lmp.command(line)
+        for lmp in self.replicas:
+            lmp._finish_velocity()
+
+    def commands_string(self, text: str) -> None:
+        for line in text.splitlines():
+            stripped = line.split("#", 1)[0].strip()
+            if stripped:
+                self.command(stripped)
+
+    def run(self, nsteps: int):
+        """Advance every replica ``nsteps`` through one ReplicaBatch.
+
+        Builds a fresh batch each call — ``add_replica`` performs exactly
+        the setup a solo ``run`` would (including the forced step-0 thermo
+        row), so interleaving setup commands between runs stays faithful.
+        Returns the batch.
+        """
+        from repro.replica import ReplicaBatch
+
+        batch = ReplicaBatch(label=self.label)
+        for lmp in self.replicas:
+            batch.add_replica(lmp)
+        batch.step(nsteps)
+        batch.finish()
+        if batch.failures:
+            rid, exc = batch.failures[0]
+            raise LammpsError(
+                f"replica {rid} failed during the batched run: {exc}"
+            ) from exc
+        self.last_batch = batch
+        return batch

@@ -1,0 +1,916 @@
+"""ReplicaBatch: R independent replicas stepped through one kernel set.
+
+Small MD systems cannot saturate wide hardware — or, here, amortize Python
+dispatch overhead.  Below the saturation size, throughput comes from running
+*many systems per device* (Trott et al., PAPERS.md), so this engine packs R
+independent single-rank :class:`~repro.core.Lammps` replicas into one
+stacked :class:`~repro.core.atom.AtomVec` and advances them all with one
+vectorized pass per step: one LJ/EAM force evaluation, one NVE
+half-kick/drift, one staged ghost-comm replay — over arrays R times longer.
+
+**Layout.**  The stacked array holds every replica's owned atoms first
+(``[own_0 | own_1 | ...]``, so the "is j owned" predicate ``j < nlocal``
+keeps its solo meaning), then every replica's ghosts.  Each atom carries its
+``replica_id`` in a registered custom per-atom field, and each member keeps
+``(own_off, nlocal, ghost_off, nghost)`` segment offsets.  Cross-replica
+pairs cannot exist *structurally*: neighbor lists are built per replica (by
+the member's own unchanged rebuild machinery) and only then translated into
+the stacked index space.
+
+**Bitwise equivalence.**  Per-replica trajectories and thermo are bit-for-bit
+identical to solo runs, enforced by ``tests/test_replica_batch.py``.  The
+engine earns this by construction:
+
+* elementwise kernels (LJ/EAM pair math, NVE kicks) are replicated op for
+  op, so each replica's rows see exactly the solo operation sequence;
+* scatter adds accumulate per destination in input order in both
+  ``atomic`` and ``segmented`` modes, and replica segments are disjoint, so
+  concatenating streams never reorders any single destination's sum;
+* reductions (pair tallies, thermo PE/KE/T/P) run per replica over
+  contiguous slices via :func:`repro.kokkos.segment.segment_dot` /
+  :func:`~repro.kokkos.segment.segment_slice_sums` — the same length, same
+  values, same contiguity as the solo ``np.dot``/``.sum`` calls;
+* ghost communication is replayed as recorded per-member swap *stages*
+  (aligned by swap index, ragged-safe), preserving each member's staged
+  order — including the bucket-brigade multi-hop semantics.
+
+**Epochs.**  Between neighbor rebuilds the stacked arrays are the truth.
+Each rebuild epoch re-hoists: stale members get their owned state synced
+back, run their own solo ``rebuild_gen`` (exchange/sort/borders/build), and
+the stacked arrays, pair plans, and comm-replay stages are rebuilt from all
+members.  Per-replica neighbor staleness is tracked individually — one hot
+replica rebuilding does not force the rest to.  The same hoisting implements
+mid-flight join (``add_replica`` while running) and early termination
+(``remove_replica`` compacts the stacked arrays via
+:meth:`~repro.core.atom.AtomVec.delete_local`).
+
+Pair-style coverage is the closed set in ``HANDLERS`` (host ``lj/cut`` and
+``eam/fs``); batchability violations raise with the shared
+``errors.unknown_choice`` did-you-mean hint where the set is closed.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from repro.core.atom import AtomVec
+from repro.core.errors import LammpsError, unknown_choice
+from repro.kokkos.segment import (
+    scatter_add,
+    scatter_mode,
+    scatter_sub,
+    segment_dot,
+    segment_slice_sums,
+)
+from repro.parallel.driver import drain
+from repro.tools import metrics
+from repro.tools import registry as kp
+
+#: The registered custom per-atom field carrying each atom's replica id.
+REPLICA_FIELD = "replica_id"
+
+
+# ------------------------------------------------------------------ members
+@dataclass
+class _Member:
+    """One replica: its solo Lammps instance plus stacked-segment offsets."""
+
+    lmp: "object"
+    rid: int
+    index: int = 0  #: position in the members list == stacking order
+    own_off: int = 0
+    nlocal: int = 0
+    ghost_off: int = 0
+    nghost: int = 0
+    #: this member's slice of the stored (unmasked) pair stream
+    pair_lo: int = 0
+    pair_hi: int = 0
+    #: last force pass's tallies (only computed on this member's thermo steps)
+    eng_now: float = 0.0
+    virial_now: np.ndarray = field(default_factory=lambda: np.zeros(6))
+
+
+@dataclass
+class _Stage:
+    """One aligned comm-replay stage: swap k of every member that has one."""
+
+    src: np.ndarray  #: stacked indices read (mapped member sendlists)
+    dst: np.ndarray  #: stacked ghost indices written (mapped recv ranges)
+    shift: np.ndarray  #: per-row periodic shift, (n, 3)
+
+
+@dataclass
+class _PairPlan:
+    """The stored pair stream of the whole batch, hoisted once per epoch."""
+
+    i: np.ndarray  #: stacked i (owned, globally ascending)
+    j: np.ndarray  #: stacked j (owned or ghost)
+    cutsq: np.ndarray
+    off: np.ndarray  #: member pair offsets, shape (R + 1,)
+    coeffs: dict[str, np.ndarray]  #: per-pair coefficient vectors (by style)
+    #: preallocated per-step scratch (keyed by shape role).  The stacked
+    #: force pass works on multi-MB temporaries; reusing plan-lifetime
+    #: buffers via ufunc ``out=`` keeps the per-step allocation footprint
+    #: flat (same ops, same bits — only the destination storage changes).
+    scratch: dict = field(default_factory=dict)
+
+    def buffers(self) -> dict:
+        if not self.scratch:
+            n = self.i.shape[0]
+            self.scratch = {
+                "xi": np.empty((n, 3)),
+                "xj": np.empty((n, 3)),
+                "fv": np.empty((n, 3)),
+                "nfv": np.empty((n, 3)),
+                "rsq": np.empty(n),
+                "s1": np.empty(n),
+                "s2": np.empty(n),
+                "s3": np.empty(n),
+                "ii": np.empty(n, dtype=self.i.dtype),
+                "jj": np.empty(n, dtype=self.j.dtype),
+            }
+        return self.scratch
+
+
+# ----------------------------------------------------------- force handlers
+class _LJHandler:
+    """Stacked ``lj/cut``: half list, newton per the global setting."""
+
+    style = "lj/cut"
+
+    @staticmethod
+    def gather(pair, itype: np.ndarray, jtype: np.ndarray) -> dict:
+        # the same pre-gather the kernel-graph capture performs: 2-D fancy
+        # indexing becomes per-stored-pair vectors, values unchanged
+        return {
+            "lj1": pair.lj1[itype, jtype],
+            "lj2": pair.lj2[itype, jtype],
+            "lj3": pair.lj3[itype, jtype],
+            "lj4": pair.lj4[itype, jtype],
+            "off": pair.offset[itype, jtype],
+        }
+
+    @staticmethod
+    def atom_coeffs(batch) -> dict:
+        return {}
+
+    @staticmethod
+    def force(batch: "ReplicaBatch", due: list[_Member]) -> None:
+        atom = batch.atom
+        plan = batch._plan
+        atom.zero_forces()
+        if plan.i.size == 0:
+            for m in due:
+                m.eng_now = 0.0
+                m.virial_now = np.zeros(6)
+            return
+        x = atom.x
+        sc = plan.buffers()
+        # np.take row-gathers are ~2x faster than x[plan.i] fancy indexing
+        # and produce identical bits (same gather, faster inner loop);
+        # plan-lifetime out= buffers keep the big temporaries allocation-free
+        xi = np.take(x, plan.i, axis=0, out=sc["xi"])
+        xj = np.take(x, plan.j, axis=0, out=sc["xj"])
+        dxf = np.subtract(xi, xj, out=xi)
+        rsqf = np.einsum("ij,ij->i", dxf, dxf, out=sc["rsq"])
+        mask = rsqf < plan.cutsq
+        # select via flatnonzero + take: same rows as boolean indexing
+        # (bit-identical) at a fraction of the cost
+        idx = np.flatnonzero(mask)
+        k = idx.shape[0]
+        i = np.take(plan.i, idx, out=sc["ii"][:k])
+        j = np.take(plan.j, idx, out=sc["jj"][:k])
+        dx = np.take(dxf, idx, axis=0, out=sc["xj"][:k])
+        rsq = np.take(rsqf, idx, out=sc["s1"][:k])
+        c = plan.coeffs
+        # PairLJCut.pair_eval, op for op, with masked pre-gathered coeffs:
+        # r2inv = 1/rsq; r6inv = r2inv*r2inv*r2inv;
+        # forcelj = r6inv*(lj1*r6inv - lj2); fpair = forcelj*r2inv
+        r2inv = np.divide(1.0, rsq, out=sc["s2"][:k])
+        r4inv = np.multiply(r2inv, r2inv, out=sc["s1"][:k])
+        r6inv = np.multiply(r4inv, r2inv, out=r4inv)
+        t = np.take(c["lj1"], idx, out=sc["s3"][:k])
+        np.multiply(t, r6inv, out=t)
+        t -= np.take(c["lj2"], idx)
+        forcelj = np.multiply(r6inv, t, out=t)
+        fpair = np.multiply(forcelj, r2inv, out=forcelj)
+        fvec = np.multiply(fpair[:, None], dx, out=sc["fv"][:k])
+        newton = batch._newton
+        jlocal = None if newton else j < atom.nlocal
+        mode = scatter_mode()
+        scatter_add(atom.f, i, fvec, mode=mode, assume_sorted=True)
+        if newton:
+            # x - y == x + (-y) bitwise, so a preallocated negation feeds
+            # scatter_add instead of letting scatter_sub allocate one
+            nfv = np.negative(fvec, out=sc["nfv"][:k])
+            scatter_add(atom.f, j, nfv, mode=mode)
+        else:
+            scatter_sub(atom.f, j[jlocal], fvec[jlocal], mode=mode)
+        if due:
+            evdwl = r6inv * (np.take(c["lj3"], idx) * r6inv - np.take(c["lj4"], idx))
+            evdwl -= np.take(c["off"], idx)
+            factor = np.ones(len(evdwl)) if newton else np.where(jlocal, 1.0, 0.5)
+            batch._tally(due, mask, factor, evdwl, dx, fvec, base_eng=None)
+        if newton:
+            batch._reverse_f()
+
+
+class _EAMHandler:
+    """Stacked ``eam/fs``: full list, density + embed + fp comm + force."""
+
+    style = "eam/fs"
+
+    @staticmethod
+    def gather(pair, itype: np.ndarray, jtype: np.ndarray) -> dict:
+        n = itype.shape[0]
+        return {
+            "cp": pair.pair_c[itype, jtype],
+            # the member's scalar cutoff as a per-pair vector: scalar-vs-r
+            # broadcasts become elementwise ops on identical values
+            "rc": np.full(n, pair.cut_global),
+        }
+
+    @staticmethod
+    def atom_coeffs(batch) -> dict:
+        parts = [
+            m.lmp.pair.embed_A[
+                batch.atom.type[m.own_off : m.own_off + m.nlocal]
+            ]
+            for m in batch.members
+        ]
+        return {"A_own": np.concatenate(parts) if parts else np.zeros(0)}
+
+    @staticmethod
+    def force(batch: "ReplicaBatch", due: list[_Member]) -> None:
+        atom = batch.atom
+        plan = batch._plan
+        atom.zero_forces()
+        nall = atom.nall
+        atom.rho[:nall] = 0.0
+        atom.fp[:nall] = 0.0
+        if plan.i.size == 0:
+            for m in due:
+                m.eng_now = 0.0
+                m.virial_now = np.zeros(6)
+            return
+        x = atom.x
+        sc = plan.buffers()
+        xi = np.take(x, plan.i, axis=0, out=sc["xi"])
+        xj = np.take(x, plan.j, axis=0, out=sc["xj"])
+        dxf = np.subtract(xi, xj, out=xi)
+        rsqf = np.einsum("ij,ij->i", dxf, dxf, out=sc["rsq"])
+        mask = rsqf < plan.cutsq
+        idx = np.flatnonzero(mask)
+        k = idx.shape[0]
+        i = np.take(plan.i, idx, out=sc["ii"][:k])
+        j = np.take(plan.j, idx, out=sc["jj"][:k])
+        dx = np.take(dxf, idx, axis=0, out=sc["xj"][:k])
+        r = np.sqrt(np.take(rsqf, idx, out=sc["s1"][:k]), out=sc["s1"][:k])
+        rc = np.take(plan.coeffs["rc"], idx, out=sc["s2"][:k])
+        # loop 1: electron density of owned atoms (PairEAM.dens)
+        scatter_add(atom.rho, i, (rc - r) ** 2, assume_sorted=True)
+        nown = atom.nlocal
+        rho_own = atom.rho[:nown]
+        A = batch._atom_coeffs["A_own"]
+        base_eng = None
+        if due:
+            embed_vals = -A * np.sqrt(np.maximum(rho_own, 0.0))
+            starts = np.array([m.own_off for m in due])
+            ends = np.array([m.own_off + m.nlocal for m in due])
+            base_eng = segment_slice_sums(embed_vals, starts, ends)
+        safe = np.maximum(rho_own, 1e-30)
+        atom.fp[:nown] = -0.5 * A / np.sqrt(safe)
+        # figure 1's "additional communication": ghost fp before the force loop
+        batch._forward_field("fp")
+        fp = atom.fp
+        fp_sum = np.take(fp, i) + np.take(fp, j)
+        cp = np.take(plan.coeffs["cp"], idx)
+        dphi = -2.0 * cp * (rc - r)
+        ddens = -2.0 * (rc - r)
+        fpair = -(dphi + fp_sum * ddens) / r
+        fvec = np.multiply(fpair[:, None], dx, out=sc["fv"][:k])
+        scatter_add(atom.f, i, fvec, assume_sorted=True)
+        if due:
+            evdwl = cp * (rc - r) ** 2
+            factor = np.full(len(evdwl), 0.5)  # full list: every pair twice
+            batch._tally(due, mask, factor, evdwl, dx, fvec, base_eng=base_eng)
+
+
+HANDLERS = {h.style: h for h in (_LJHandler, _EAMHandler)}
+
+
+# ---------------------------------------------------------------- the batch
+class ReplicaBatch:
+    """R single-rank replicas packed into one stacked AtomVec.
+
+    Usage::
+
+        batch = ReplicaBatch()
+        rid = batch.add_replica(lmp)    # lmp fully set up (pair, fix nve...)
+        batch.step(100)                  # all replicas advance together
+        lmp = batch.remove_replica(rid)  # final state synced back to lmp
+
+    Members may be at different timesteps, sizes, dt, thermo intervals, and
+    neighbor policies; they must share one pair style (and newton setting).
+    Thermo rows land in each member's own ``lmp.thermo.history``, exactly as
+    a solo run would record them.
+    """
+
+    def __init__(self, label: str = "replica") -> None:
+        self.label = label
+        self.members: list[_Member] = []
+        self.atom: AtomVec | None = None
+        #: ``(rid, exception)`` pairs from members dropped by a failed
+        #: rebuild — the fail-open path: the batch keeps stepping the rest,
+        #: and the session manager routes each failure to its owning session.
+        self.failures: list[tuple[int, Exception]] = []
+        #: peak member count, the occupancy denominator
+        self.capacity = 0
+        self._next_rid = 0
+        self._sig: tuple | None = None
+        self._handler = None
+        self._newton = False
+        self._stages: list[_Stage] = []
+        self._plan: _PairPlan | None = None
+        self._atom_coeffs: dict[str, np.ndarray] = {}
+        self._m_own = np.zeros(0)
+        self._dt_col = np.zeros(0)
+        self._dtf_col = np.zeros(0)
+        self._epoch_t: float | None = None
+
+    # ------------------------------------------------------------- queries
+    def __len__(self) -> int:
+        return len(self.members)
+
+    @property
+    def rids(self) -> list[int]:
+        return [m.rid for m in self.members]
+
+    def member(self, rid: int) -> "object":
+        """The solo Lammps instance behind a live replica id."""
+        return self._find(rid).lmp
+
+    def _find(self, rid: int) -> _Member:
+        for m in self.members:
+            if m.rid == rid:
+                return m
+        raise LammpsError(
+            f"unknown replica id {rid}; live ids: {self.rids}"
+        )
+
+    # ------------------------------------------------------------ admission
+    def add_replica(self, lmp) -> int:
+        """Fold a fully configured Lammps instance into the batch.
+
+        Runs the member's own solo setup (pair init, neighbor build, initial
+        forces, the forced step-0 thermo row — exactly ``run 0``'s prologue),
+        then re-hoists the stacked arrays.  Joining mid-flight is the same
+        operation: running members sync to their solo instances first, so
+        the new epoch stacks everyone's current truth.
+        """
+        sig = self._validate(lmp)
+        if self.members and sig != self._sig:
+            raise LammpsError(
+                f"replica signature mismatch: batch runs {self._sig}, "
+                f"new member wants {sig} (pair style and newton must match)"
+            )
+        if self.members:
+            self._sync_all_owned()
+        with kp.kernel_scope(self.label):
+            drain(lmp.verlet.setup_gen())
+        lmp.world.assert_drained()
+        m = _Member(lmp=lmp, rid=self._next_rid)
+        self._next_rid += 1
+        self.members.append(m)
+        self._sig = sig
+        self._handler = HANDLERS[sig[0]]
+        self._newton = sig[2]
+        self.capacity = max(self.capacity, len(self.members))
+        self._hoist()
+        return m.rid
+
+    def _validate(self, lmp) -> tuple:
+        if lmp.comm_size != 1:
+            raise LammpsError(
+                "replica members must be single-rank Lammps instances "
+                "(multi-rank runs go through Ensemble)"
+            )
+        if lmp.atom is None:
+            raise LammpsError("replica member has no simulation box")
+        pair = lmp.pair
+        if pair is None:
+            raise LammpsError("replica member needs a pair style before batching")
+        style = getattr(pair, "style_name", type(pair).__name__)
+        if style not in HANDLERS or getattr(pair, "kokkos_style", False):
+            raise LammpsError(
+                unknown_choice("replica pair style", style, tuple(sorted(HANDLERS)))
+            )
+        fixes = lmp.modify.fixes
+        if (
+            len(fixes) != 1
+            or type(fixes[0]).style_name != "nve"
+            or fixes[0].group != "all"
+        ):
+            got = [f"{type(f).style_name}({f.group})" for f in fixes] or ["none"]
+            raise LammpsError(
+                "replica members must integrate with exactly 'fix all nve'; "
+                f"got {', '.join(got)}"
+            )
+        if lmp.kspace is not None:
+            raise LammpsError("replica members cannot use kspace styles")
+        if lmp.dumps:
+            raise LammpsError("replica members cannot have dumps attached")
+        if lmp.overlap_comm:
+            raise LammpsError("replica members cannot use overlapped comm")
+        if lmp.autotuner is not None or lmp.autotune_request is not None:
+            raise LammpsError(
+                "autotune the solo workload first; replica members cannot "
+                "carry an autotuner"
+            )
+        if "tune" in lmp.thermo.columns:
+            raise LammpsError(
+                "replica members cannot use the 'tune' thermo column"
+            )
+        style_req, newton = pair.neighbor_request()
+        return (style, style_req, newton)
+
+    # ----------------------------------------------------------- retirement
+    def remove_replica(self, rid: int) -> "object":
+        """Retire one replica: sync its final state back, compact the rest.
+
+        The stacked arrays shrink in place
+        (:meth:`~repro.core.atom.AtomVec.delete_local` keyed on the
+        ``replica_id`` custom field), surviving replicas keep their relative
+        order, and the epoch plans are rebuilt over the compacted layout.
+        Returns the member's solo Lammps instance, holding its final state.
+        """
+        m = self._find(rid)
+        self._sync_member(m)
+        self.members.remove(m)
+        if not self.members:
+            self._reset_empty()
+            return m.lmp
+        assert self.atom is not None
+        self.atom.clear_ghosts()
+        ridcol = self.atom.custom[REPLICA_FIELD][: self.atom.nlocal, 0]
+        self.atom.delete_local(ridcol != rid)
+        self._hoist(reuse_owned=True)
+        return m.lmp
+
+    def _reset_empty(self) -> None:
+        self.atom = None
+        self._stages = []
+        self._plan = None
+        self._atom_coeffs = {}
+        self._m_own = self._dt_col = self._dtf_col = np.zeros(0)
+        if metrics.SINKS and self.capacity:
+            metrics.set_gauge(
+                "replica_batch_occupancy", 0.0, batch=self.label
+            )
+
+    # ------------------------------------------------------------- syncing
+    def _sync_member(self, m: _Member) -> None:
+        """Copy a member's stacked owned rows back into its solo arrays."""
+        a = m.lmp.atom
+        n = m.nlocal
+        sl = slice(m.own_off, m.own_off + n)
+        st = self.atom
+        a.x[:n] = st.x[sl]
+        a.v[:n] = st.v[sl]
+        a.f[:n] = st.f[sl]
+        a.q[:n] = st.q[sl]
+        for name, arr in a.custom.items():
+            arr[:n] = st.custom[name][sl]
+
+    def _sync_all_owned(self) -> None:
+        if self.atom is not None:
+            for m in self.members:
+                self._sync_member(m)
+
+    # -------------------------------------------------------------- hoisting
+    def _hoist(self, *, reuse_owned: bool = False) -> None:
+        """Rebuild the stacked epoch state from the members' solo truth.
+
+        ``reuse_owned`` skips restacking the owned rows (the compaction path
+        already holds them, in order); everything derived — ghosts, comm
+        stages, pair plans, per-atom integration constants — is rebuilt.
+        """
+        now = time.perf_counter()
+        if metrics.SINKS:
+            if self._epoch_t is not None:
+                metrics.observe(
+                    "replica_epoch_seconds", now - self._epoch_t, batch=self.label
+                )
+            metrics.set_gauge(
+                "replica_batch_occupancy",
+                len(self.members) / max(self.capacity, 1),
+                batch=self.label,
+            )
+        self._epoch_t = now
+        members = self.members
+        nown = 0
+        for idx, m in enumerate(members):
+            a = m.lmp.atom
+            m.index = idx
+            m.own_off = nown
+            m.nlocal = a.nlocal
+            m.nghost = a.nghost
+            nown += a.nlocal
+        ghost_off = nown
+        for m in members:
+            m.ghost_off = ghost_off
+            ghost_off += m.nghost
+
+        if reuse_owned:
+            atom = self.atom
+            assert atom is not None and atom.nlocal == nown
+            atom.clear_ghosts()
+        else:
+            atom = AtomVec(ntypes=max(m.lmp.atom.ntypes for m in members))
+            specs: dict[str, tuple[int, np.dtype]] = {}
+            for m in members:
+                for name, arr in m.lmp.atom.custom.items():
+                    spec = (arr.shape[1], arr.dtype)
+                    if specs.setdefault(name, spec) != spec:
+                        raise LammpsError(
+                            f"custom field {name!r} has mismatched shape/dtype "
+                            "across replicas"
+                        )
+            custom = {
+                name: np.concatenate(
+                    [
+                        m.lmp.atom.custom[name][: m.nlocal]
+                        if name in m.lmp.atom.custom
+                        else np.zeros((m.nlocal, w), dtype=dt)
+                        for m in members
+                    ]
+                )
+                for name, (w, dt) in specs.items()
+            }
+            custom[REPLICA_FIELD] = np.concatenate(
+                [np.full((m.nlocal, 1), m.rid, dtype=np.int64) for m in members]
+            )
+            atom.replace_local(
+                x=np.concatenate([m.lmp.atom.x[: m.nlocal] for m in members]),
+                v=np.concatenate([m.lmp.atom.v[: m.nlocal] for m in members]),
+                types=np.concatenate(
+                    [m.lmp.atom.type[: m.nlocal] for m in members]
+                ),
+                tags=np.concatenate([m.lmp.atom.tag[: m.nlocal] for m in members]),
+                q=np.concatenate([m.lmp.atom.q[: m.nlocal] for m in members]),
+                custom=custom,
+            )
+            # carry the members' current forces: the very next initial
+            # half-kick reads them (replace_local does not take f)
+            atom.f[:nown] = np.concatenate(
+                [m.lmp.atom.f[: m.nlocal] for m in members]
+            )
+            self.atom = atom
+
+        for m in members:
+            a = m.lmp.atom
+            atom.add_ghosts(
+                {
+                    "x": a.x[a.nlocal : a.nall],
+                    "tag": a.tag[a.nlocal : a.nall],
+                    "type": a.type[a.nlocal : a.nall],
+                    "q": a.q[a.nlocal : a.nall],
+                }
+            )
+
+        # per-atom integration constants (FixNVE's scalars, per member)
+        self._m_own = np.concatenate(
+            [
+                m.lmp.atom.mass[atom.type[m.own_off : m.own_off + m.nlocal]]
+                for m in members
+            ]
+        )
+        self._dt_col = np.concatenate(
+            [np.full(m.nlocal, m.lmp.update.dt) for m in members]
+        )
+        self._dtf_col = np.concatenate(
+            [
+                np.full(
+                    m.nlocal, 0.5 * m.lmp.update.dt * m.lmp.update.units.ftm2v
+                )
+                for m in members
+            ]
+        )
+
+        self._build_stages()
+        self._build_pair_plan()
+        self._atom_coeffs = self._handler.atom_coeffs(self)
+        # refresh every member's ghost positions from the stacked owned rows
+        # (idempotent for just-rebuilt members: ghosts are pure functions of
+        # owned x + shift, so the replay reproduces their current bits)
+        self._forward_x()
+
+    def _map_local(self, m: _Member, idx: np.ndarray) -> np.ndarray:
+        """Member-local indices (owned + ghost) -> stacked indices."""
+        return np.where(
+            idx < m.nlocal, m.own_off + idx, m.ghost_off + (idx - m.nlocal)
+        )
+
+    def _build_stages(self) -> None:
+        """Align every member's recorded swaps by index into replay stages.
+
+        Stage k holds swap k of each member that has one; members with fewer
+        swaps simply stop participating.  Iterating stages forward replays
+        each member's forward comm in its own swap order, and iterating them
+        backward replays the reverse pass — the bucket-brigade ordering the
+        solo CommBrick uses.
+        """
+        self._stages = []
+        nstage = max(
+            (len(m.lmp.comm_brick.swaps) for m in self.members), default=0
+        )
+        for k in range(nstage):
+            src_parts, dst_parts, shift_parts = [], [], []
+            for m in self.members:
+                swaps = m.lmp.comm_brick.swaps
+                if k >= len(swaps):
+                    continue
+                sw = swaps[k]
+                if sw.sendlist.size == 0 and sw.nrecv == 0:
+                    continue
+                src_parts.append(self._map_local(m, sw.sendlist))
+                first = m.ghost_off + (sw.firstrecv - m.nlocal)
+                dst_parts.append(np.arange(first, first + sw.nrecv))
+                shift_parts.append(
+                    np.repeat(sw.shift[None, :], sw.sendlist.size, axis=0)
+                )
+            if not src_parts:
+                continue
+            self._stages.append(
+                _Stage(
+                    src=np.concatenate(src_parts),
+                    dst=np.concatenate(dst_parts),
+                    shift=np.concatenate(shift_parts),
+                )
+            )
+
+    def _build_pair_plan(self) -> None:
+        handler = self._handler
+        i_parts, j_parts, cut_parts = [], [], []
+        coeff_parts: dict[str, list[np.ndarray]] = {}
+        off = [0]
+        total = 0
+        for m in self.members:
+            lmp = m.lmp
+            nlist = lmp.neigh_list
+            i_l, j_l, itype, jtype, cutsq = lmp.pair.pair_table(
+                nlist, lmp.atom, "all"
+            )
+            m.pair_lo = total
+            total += i_l.shape[0]
+            m.pair_hi = total
+            off.append(total)
+            i_parts.append(m.own_off + i_l.astype(np.int64))
+            j_parts.append(self._map_local(m, j_l.astype(np.int64)))
+            cut_parts.append(cutsq)
+            for name, vec in handler.gather(lmp.pair, itype, jtype).items():
+                coeff_parts.setdefault(name, []).append(vec)
+        empty = np.zeros(0, dtype=np.int64)
+        self._plan = _PairPlan(
+            i=np.concatenate(i_parts) if i_parts else empty,
+            j=np.concatenate(j_parts) if j_parts else empty,
+            cutsq=np.concatenate(cut_parts) if cut_parts else np.zeros(0),
+            off=np.asarray(off, dtype=np.int64),
+            coeffs={
+                name: np.concatenate(parts)
+                for name, parts in coeff_parts.items()
+            },
+        )
+
+    # --------------------------------------------------------- comm replays
+    def _forward_x(self) -> None:
+        """Replay forward comm: ghost positions from stacked owned rows."""
+        x = self.atom.x
+        for st in self._stages:
+            # the add runs even for zero shifts, exactly like the solo
+            # ``buf = x[sendlist] + swap.shift`` (it can normalize -0.0)
+            x[st.dst] = np.take(x, st.src, axis=0) + st.shift
+
+    def _forward_field(self, name: str) -> None:
+        arr = getattr(self.atom, name)
+        for st in self._stages:
+            arr[st.dst] = arr[st.src]
+
+    def _reverse_f(self) -> None:
+        """Replay reverse comm: ghost forces accumulate back to owners."""
+        f = self.atom.f
+        for st in reversed(self._stages):
+            # gather first: the solo recv-buffer copy
+            buf = np.take(f, st.dst, axis=0)
+            np.add.at(f, st.src, buf)
+
+    # ------------------------------------------------------------- stepping
+    @contextmanager
+    def _kernel(self, name: str, work: int) -> Iterator[None]:
+        if not kp.TOOLS:
+            yield
+            return
+        kid = kp.begin_kernel(
+            "parallel_for", f"{self.label}/{name}", "Host", work_items=float(work)
+        )
+        try:
+            yield
+        finally:
+            kp.end_kernel(kid, None, 0.0)
+
+    def step(self, nsteps: int = 1) -> None:
+        """Advance every live replica ``nsteps`` timesteps."""
+        if nsteps < 0:
+            raise LammpsError("negative step count")
+        for _ in range(nsteps):
+            if not self.members:
+                return
+            self._one_step()
+
+    def _one_step(self) -> None:
+        t0 = time.perf_counter() if metrics.SINKS else 0.0
+        atom = self.atom
+        for m in self.members:
+            m.lmp.update.ntimestep += 1
+        with self._kernel("initial_integrate", atom.nlocal):
+            self._nve_initial()
+        stale = [
+            m
+            for m in self.members
+            if m.lmp.neighbor.decide(
+                m.lmp.update.ntimestep,
+                atom.x[m.own_off : m.own_off + m.nlocal],
+            )
+        ]
+        rebuilt = bool(stale)
+        if stale:
+            self._rebuild(stale)
+            if not self.members:
+                return
+            atom = self.atom
+        else:
+            with self._kernel("forward_comm", atom.nghost):
+                self._forward_x()
+        due = [
+            m
+            for m in self.members
+            if m.lmp.thermo.should_output(m.lmp.update.ntimestep)
+        ]
+        with self._kernel("pair_force", self._plan.i.shape[0]):
+            self._handler.force(self, due)
+        with self._kernel("final_integrate", atom.nlocal):
+            self._nve_final()
+        if due:
+            self._thermo_rows(due)
+        if metrics.SINKS:
+            metrics.observe(
+                "step_wall_seconds", time.perf_counter() - t0, rank=self.label
+            )
+            metrics.inc("steps_total", rank=self.label)
+            if rebuilt:
+                metrics.inc("neighbor_rebuilds_total", rank=self.label)
+
+    # ------------------------------------------------------------ integrate
+    def _nve_initial(self) -> None:
+        atom = self.atom
+        n = atom.nlocal
+        v = atom.v[:n]
+        # FixNVE's kick/drift with the member scalars broadcast per atom:
+        # v += dtf * f / m ; x += dt * v — elementwise, so each replica's
+        # rows see the identical solo operation sequence
+        v += self._dtf_col[:, None] * atom.f[:n] / self._m_own[:, None]
+        atom.x[:n] += self._dt_col[:, None] * v
+
+    def _nve_final(self) -> None:
+        atom = self.atom
+        n = atom.nlocal
+        atom.v[:n] += self._dtf_col[:, None] * atom.f[:n] / self._m_own[:, None]
+
+    # -------------------------------------------------------------- rebuild
+    def _rebuild(self, stale: list[_Member]) -> None:
+        """Re-neighbor the stale members only, then re-hoist the epoch.
+
+        Each stale member syncs its stacked state home and runs its own solo
+        ``rebuild_gen`` (exchange, spatial sort, borders, list build) — the
+        unchanged machinery, so list contents and atom order match a solo
+        run exactly.  A member whose rebuild raises is dropped fail-open:
+        its ``(rid, exception)`` lands in :attr:`failures` and the batch
+        keeps stepping everyone else.
+        """
+        self._sync_all_owned()
+        failed: list[tuple[_Member, Exception]] = []
+        for m in stale:
+            try:
+                with kp.kernel_scope(self.label):
+                    drain(m.lmp.rebuild_gen())
+                m.lmp.world.assert_drained()
+            except Exception as exc:  # noqa: BLE001 — fail-open by design
+                failed.append((m, exc))
+        for m, exc in failed:
+            self.failures.append((m.rid, exc))
+            self.members.remove(m)
+        if not self.members:
+            self._reset_empty()
+            return
+        self._hoist()
+
+    # --------------------------------------------------------------- thermo
+    def _thermo_rows(self, due: list[_Member]) -> None:
+        """Append one solo-identical thermo row per due member.
+
+        PE/KE/T/P are per-replica segment reductions over the stacked
+        arrays (:func:`~repro.kokkos.segment.segment_dot` on each member's
+        contiguous slice) finalized with the exact arithmetic of the
+        internal computes + Thermo.  Single-rank reduction is the identity,
+        so no allreduce detour is needed.
+        """
+        atom = self.atom
+        n = atom.nlocal
+        vsq = np.einsum("ij,ij->i", atom.v[:n], atom.v[:n])
+        starts = np.array([m.own_off for m in due])
+        ends = np.array([m.own_off + m.nlocal for m in due])
+        msq = segment_dot(self._m_own, vsq, starts, ends)
+        for k, m in enumerate(due):
+            lmp = m.lmp
+            units = lmp.update.units
+            msq_k = float(msq[k])
+            count = float(m.nlocal)
+            dof = max(3.0 * count - 3.0, 1.0)
+            temp = units.mvv2e * msq_k / (dof * units.boltz)
+            pe = float(m.eng_now + 0.0)  # eng_vdwl + eng_coul, coul == 0.0
+            ke = 0.5 * units.mvv2e * msq_k
+            natoms = max(lmp.natoms_total, 1)
+            thermo = lmp.thermo
+            values: dict[str, float] = {
+                "temp": temp,
+                "pe": pe / natoms if thermo.normalize else pe,
+                "ke": ke / natoms if thermo.normalize else ke,
+            }
+            values["etotal"] = values["pe"] + values["ke"]
+            if "press" in thermo.columns:
+                p_kin = units.mvv2e * msq_k
+                w = float(m.virial_now[:3].sum())
+                values["press"] = (p_kin + w) / (3.0 * lmp.domain.volume)
+            from repro.core.thermo import ThermoRecord
+
+            thermo.history.append(
+                ThermoRecord(step=lmp.update.ntimestep, values=values)
+            )
+            if not thermo.quiet:
+                thermo._print_row(lmp.update.ntimestep, values)
+
+    # -------------------------------------------------------------- tallies
+    def _tally(
+        self,
+        due: list[_Member],
+        mask: np.ndarray,
+        factor: np.ndarray,
+        evdwl: np.ndarray,
+        dx: np.ndarray,
+        fvec: np.ndarray,
+        *,
+        base_eng: np.ndarray | None,
+    ) -> None:
+        """Per-due-member ev_tally over the masked pair stream.
+
+        The solo code tallies every step but only thermo reads the result,
+        so the batch computes tallies only for members due this step — the
+        big win over running R full solo epilogues.  Each member's slice of
+        the masked stream is contiguous, so the 7 ``segment_dot`` reductions
+        are bitwise the solo ``np.dot`` calls.
+        """
+        # member boundaries of the *masked* stream from the stored offsets
+        keep = np.concatenate([[0], np.cumsum(mask)])
+        idx = np.array([m.index for m in due])
+        starts = keep[self._plan.off[idx]]
+        ends = keep[self._plan.off[idx + 1]]
+        eng = segment_dot(factor, evdwl, starts, ends)
+        vir = np.empty((6, len(due)))
+        for c, (a, b) in enumerate(
+            ((0, 0), (1, 1), (2, 2), (0, 1), (0, 2), (1, 2))
+        ):
+            vir[c] = segment_dot(factor, dx[:, a] * fvec[:, b], starts, ends)
+        for k, m in enumerate(due):
+            e = 0.0
+            if base_eng is not None:
+                e += float(base_eng[k])
+            e += float(eng[k])
+            m.eng_now = e
+            v6 = np.zeros(6)
+            for c in range(6):
+                v6[c] += float(vir[c, k])
+            m.virial_now = v6
+
+    # -------------------------------------------------------------- finish
+    def finish(self) -> None:
+        """Sync every member's stacked state back to its solo instance.
+
+        Call after stepping when the members will be read (or run further)
+        outside the batch; ``remove_replica`` does this per member.
+        """
+        self._sync_all_owned()

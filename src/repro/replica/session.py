@@ -1,0 +1,315 @@
+"""Async session manager: many small jobs, few batched kernel streams.
+
+:class:`SessionManager` is the service layer above
+:class:`~repro.replica.batch.ReplicaBatch`.  Callers submit many concurrent
+small jobs; the manager shards them into batches by ``(workload family,
+pair style, size class)`` — replicas that share kernels and roughly share
+cost — and steps each batch cooperatively on the asyncio loop, streaming
+every replica's thermo rows back to its own session as they appear.
+
+The scheduling loop is boundary-driven: each batch advances in *chunks*
+sized to the next interesting step of any member (thermo interval or job
+completion), and all structural changes — admitting pending jobs into a
+batch (mid-flight join), retiring finished or cancelled replicas
+(compaction), surfacing rebuild failures — happen between chunks, which is
+exactly where the batch re-hoists an epoch anyway.  A replica that raises
+during its rebuild fails *open*: its session receives the error and the
+batch keeps stepping everyone else.
+
+No threads, no executors: one event loop, one set of stacked arrays per
+shard.  ``await``-ing a session's event stream while other jobs run is the
+whole point.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import AsyncIterator, Iterable
+
+from repro.core.errors import LammpsError, unknown_choice
+from repro.replica.batch import ReplicaBatch
+from repro.tools import metrics
+
+#: How the manager treats a replica whose rebuild raises.
+FAILURE_POLICIES = ("fail_open", "raise")
+
+
+def size_class(natoms: int) -> int:
+    """Power-of-two size bucket; replicas in one bucket batch together."""
+    if natoms < 1:
+        return 1
+    return 1 << (natoms - 1).bit_length()
+
+
+class ReplicaJobError(LammpsError):
+    """A replica died mid-run (its rebuild raised); carries the context."""
+
+    def __init__(self, sid: int, family: str, cause: Exception) -> None:
+        super().__init__(
+            f"replica job {sid} ({family}) failed during a neighbor "
+            f"rebuild: {cause}"
+        )
+        self.sid = sid
+        self.family = family
+        self.cause = cause
+
+
+class ReplicaSession:
+    """One submitted job's handle: an async stream of per-replica events.
+
+    Events are ``(kind, payload)`` tuples:
+
+    * ``("thermo", ThermoRecord)`` — one per thermo row, in step order;
+    * ``("done", dict)`` — terminal; ``payload["status"]`` is ``"finished"``
+      or ``"cancelled"``, alongside the final step and the solo Lammps
+      instance (``payload["lmp"]``) holding the replica's final state;
+    * ``("error", ReplicaJobError)`` — terminal, the fail-open path.
+
+    Iterate with ``async for kind, payload in session`` — the iterator ends
+    after the terminal event.  :meth:`result` awaits the terminal event and
+    raises if it was an error.
+    """
+
+    def __init__(self, sid: int, spec) -> None:
+        self.sid = sid
+        self.spec = spec
+        self.queue: asyncio.Queue = asyncio.Queue()
+        self.status = "pending"  # pending -> running -> finished/cancelled/error
+        self.error: ReplicaJobError | None = None
+        self._cancel = False
+
+    def cancel(self) -> None:
+        """Request termination at the next chunk boundary.
+
+        Pending jobs are dropped immediately on the next scheduler pass;
+        running replicas are compacted out of their batch.  The session
+        still receives its terminal ``("done", {"status": "cancelled"})``.
+        """
+        self._cancel = True
+
+    def __aiter__(self) -> AsyncIterator[tuple[str, object]]:
+        return self._events()
+
+    async def _events(self) -> AsyncIterator[tuple[str, object]]:
+        while True:
+            kind, payload = await self.queue.get()
+            yield kind, payload
+            if kind in ("done", "error"):
+                return
+
+    async def result(self) -> dict:
+        """Drain the stream; return the ``done`` payload or raise the error."""
+        payload = None
+        async for kind, item in self:
+            if kind == "error":
+                raise item
+            if kind == "done":
+                payload = item
+        return payload
+
+
+class _Job:
+    """Manager-internal bookkeeping for one session."""
+
+    def __init__(self, session: ReplicaSession) -> None:
+        self.session = session
+        self.lmp = None
+        self.rid: int | None = None
+        self.key: tuple | None = None
+        self.start_step = 0
+        self.watermark = 0  # thermo rows already streamed
+
+
+class SessionManager:
+    """Shard concurrent replica jobs into batches and step them cooperatively.
+
+    ``specs`` submitted via :meth:`submit` must expose ``family`` (workload
+    family name), ``pair_style``, ``steps`` (timesteps to run), and
+    ``build()`` returning a fully configured single-rank Lammps instance
+    (box, pair style, ``fix all nve``, velocities) that has not run yet —
+    :mod:`repro.workloads.replica` provides the catalog-backed spec.
+
+    ``max_batch`` caps replicas per shard (the ``replica_batch_size``
+    autotuner follow-on will pick this); excess jobs queue until a slot
+    frees.  ``on_failure`` selects the rebuild-failure policy:
+    ``"fail_open"`` (default) routes the error to the owning session and
+    keeps the batch alive, ``"raise"`` propagates out of :meth:`run_until_idle`.
+    """
+
+    def __init__(self, *, max_batch: int = 16, on_failure: str = "fail_open") -> None:
+        if on_failure not in FAILURE_POLICIES:
+            raise LammpsError(
+                unknown_choice("session failure policy", on_failure, FAILURE_POLICIES)
+            )
+        if max_batch < 1:
+            raise LammpsError("max_batch must be >= 1")
+        self.max_batch = max_batch
+        self.on_failure = on_failure
+        self.batches: dict[tuple, ReplicaBatch] = {}
+        self._jobs: dict[tuple, list[_Job]] = {}
+        self._pending: list[_Job] = []
+        self._next_sid = 0
+        self._wake = asyncio.Event()
+        self._shutdown = False
+
+    # ------------------------------------------------------------ submission
+    def submit(self, spec) -> ReplicaSession:
+        """Queue a job; admission happens at the next scheduler boundary."""
+        session = ReplicaSession(self._next_sid, spec)
+        self._next_sid += 1
+        self._pending.append(_Job(session))
+        self._wake.set()
+        return session
+
+    @property
+    def jobs_active(self) -> int:
+        return len(self._pending) + sum(len(js) for js in self._jobs.values())
+
+    def _gauge_jobs(self) -> None:
+        if metrics.SINKS:
+            metrics.set_gauge("replica_jobs_active", float(self.jobs_active))
+
+    # ------------------------------------------------------------- admission
+    def _admit_pending(self) -> None:
+        still: list[_Job] = []
+        for job in self._pending:
+            s = job.session
+            if s._cancel:
+                s.status = "cancelled"
+                s.queue.put_nowait(("done", {"status": "cancelled", "lmp": None}))
+                continue
+            if job.lmp is None:
+                job.lmp = s.spec.build()
+                job.key = (
+                    s.spec.family,
+                    s.spec.pair_style,
+                    size_class(job.lmp.atom.nlocal),
+                )
+            batch = self.batches.get(job.key)
+            if batch is not None and len(batch) >= self.max_batch:
+                still.append(job)  # shard full; wait for a retirement
+                continue
+            if batch is None:
+                batch = ReplicaBatch(label="/".join(map(str, job.key)))
+                self.batches[job.key] = batch
+                self._jobs[job.key] = []
+            try:
+                job.rid = batch.add_replica(job.lmp)
+            except LammpsError as exc:
+                s.status = "error"
+                s.error = ReplicaJobError(s.sid, s.spec.family, exc)
+                s.queue.put_nowait(("error", s.error))
+                continue
+            job.start_step = job.lmp.update.ntimestep
+            s.status = "running"
+            self._jobs[job.key].append(job)
+        self._pending = still
+        self._gauge_jobs()
+
+    # -------------------------------------------------------------- chunking
+    @staticmethod
+    def _remaining(job: _Job) -> int:
+        done = job.lmp.update.ntimestep - job.start_step
+        return max(job.session.spec.steps - done, 0)
+
+    def _chunk(self, jobs: Iterable[_Job]) -> int:
+        """Steps until any member hits a thermo row or its last step."""
+        chunk = None
+        for job in jobs:
+            rem = self._remaining(job)
+            if rem == 0:
+                continue
+            bounds = [rem]
+            every = job.lmp.thermo.every
+            if every > 0:
+                bounds.append(every - job.lmp.update.ntimestep % every)
+            step_to = min(bounds)
+            chunk = step_to if chunk is None else min(chunk, step_to)
+        return max(chunk or 0, 0)
+
+    # ------------------------------------------------------------- streaming
+    def _stream(self, job: _Job) -> None:
+        history = job.lmp.thermo.history
+        for rec in history[job.watermark :]:
+            job.session.queue.put_nowait(("thermo", rec))
+        job.watermark = len(history)
+
+    def _finish(self, key: tuple, job: _Job, status: str) -> None:
+        batch = self.batches[key]
+        lmp = batch.remove_replica(job.rid)
+        self._stream(job)
+        job.session.status = status
+        job.session.queue.put_nowait(
+            ("done", {"status": status, "step": lmp.update.ntimestep, "lmp": lmp})
+        )
+
+    def _drain_failures(self, key: tuple) -> None:
+        batch = self.batches[key]
+        while batch.failures:
+            rid, exc = batch.failures.pop(0)
+            for job in self._jobs[key]:
+                if job.rid == rid:
+                    self._jobs[key].remove(job)
+                    err = ReplicaJobError(
+                        job.session.sid, job.session.spec.family, exc
+                    )
+                    if self.on_failure == "raise":
+                        raise err
+                    self._stream(job)
+                    job.session.status = "error"
+                    job.session.error = err
+                    job.session.queue.put_nowait(("error", err))
+                    break
+
+    # ------------------------------------------------------------ scheduling
+    async def _pass(self) -> bool:
+        """One scheduler round over every shard; True if anything happened."""
+        self._admit_pending()
+        worked = bool(self.batches)
+        for key in list(self.batches):
+            batch = self.batches[key]
+            jobs = self._jobs[key]
+            chunk = self._chunk(jobs)
+            if chunk:
+                batch.step(chunk)
+            self._drain_failures(key)
+            for job in list(jobs):
+                self._stream(job)
+                if job.session._cancel and self._remaining(job) > 0:
+                    jobs.remove(job)
+                    self._finish(key, job, "cancelled")
+                elif self._remaining(job) == 0:
+                    jobs.remove(job)
+                    self._finish(key, job, "finished")
+            if not jobs:
+                del self.batches[key]
+                del self._jobs[key]
+            # cooperative point: let submitters/consumers interleave between
+            # chunks — this is what makes mid-flight join and cancel live
+            await asyncio.sleep(0)
+        self._gauge_jobs()
+        return worked or bool(self._pending)
+
+    async def run_until_idle(self) -> None:
+        """Step every shard until all submitted jobs reached a terminal event."""
+        while self._pending or self.batches:
+            await self._pass()
+
+    async def serve(self) -> None:
+        """Run forever: drain work as it arrives, sleep when idle.
+
+        Pair with :meth:`shutdown`; in-flight jobs finish before exit.
+        """
+        while True:
+            await self.run_until_idle()
+            if self._shutdown:
+                return
+            self._wake.clear()
+            if self._shutdown or self._pending:
+                continue
+            await self._wake.wait()
+
+    def shutdown(self) -> None:
+        """Ask :meth:`serve` to exit once current work drains."""
+        self._shutdown = True
+        self._wake.set()

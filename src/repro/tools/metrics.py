@@ -474,6 +474,21 @@ class MetricsTool(Tool):
             "qeq_spmv_bytes_total",
             "QEq matrix-stream bytes traversed, by spmv mode (fused/dual)",
         )
+        # Replica batching/session accounting.  The ReplicaBatch and
+        # SessionManager emit through metrics.set_gauge/observe into every
+        # attached sink; registering up-front keeps the families visible
+        # (at zero) in --metrics-out exports for non-batched runs too.
+        self.replica_occupancy = r.gauge(
+            "replica_batch_occupancy",
+            "live replicas / peak capacity per batch (1.0 = full)",
+        )
+        self.replica_jobs = r.gauge(
+            "replica_jobs_active", "jobs admitted and not yet finished"
+        )
+        self.replica_epoch = r.histogram(
+            "replica_epoch_seconds",
+            "wall seconds between batch re-hoists (epoch length)",
+        )
 
     # ------------------------------------------------------------- kernels
     def _end_kernel(self, ev: KernelEvent) -> None:

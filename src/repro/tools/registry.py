@@ -264,6 +264,24 @@ def current_rank() -> int:
     return CHAIN.rank
 
 
+# ---------------------------------------------------------------- name scope
+#: Active kernel-name scope stack (innermost last).  When non-empty, every
+#: dispatched kernel name is prefixed ``"<scope>/<name>"`` — the replica
+#: batch engine wraps per-member work in a batch scope so tools attribute
+#: the wall/sim time to the batch instead of phantom per-replica kernels.
+_KERNEL_SCOPE: list[str] = []
+
+
+@contextlib.contextmanager
+def kernel_scope(label: str) -> Iterator[None]:
+    """Prefix every kernel dispatched inside the block with ``label/``."""
+    _KERNEL_SCOPE.append(label)
+    try:
+        yield
+    finally:
+        _KERNEL_SCOPE.pop()
+
+
 # ------------------------------------------------------------------- kernels
 _BEGIN = {
     "parallel_for": "begin_parallel_for",
@@ -283,6 +301,8 @@ def begin_kernel(
     """Fire ``begin_parallel_*``; returns the kernel id for the end call."""
     if not TOOLS:
         return None
+    if _KERNEL_SCOPE:
+        name = f"{_KERNEL_SCOPE[-1]}/{name}"
     ev = KernelEvent(
         kind=kind,
         name=name,

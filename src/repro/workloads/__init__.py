@@ -12,6 +12,7 @@ ready-to-run state, plus size helpers used by the benchmark sweeps.
 
 from repro.workloads.melt import setup_melt, melt_cells_for_atoms
 from repro.workloads.hns import hns_configuration, setup_hns
+from repro.workloads.replica import REPLICA_FAMILIES, ReplicaSpec, build_replica
 from repro.workloads.tantalum import setup_tantalum
 
 __all__ = [
@@ -20,4 +21,7 @@ __all__ = [
     "hns_configuration",
     "setup_hns",
     "setup_tantalum",
+    "REPLICA_FAMILIES",
+    "ReplicaSpec",
+    "build_replica",
 ]

@@ -1,0 +1,84 @@
+"""Replica job catalog: small parameterized workloads for the session layer.
+
+The replica engine batches *many small jobs* — parameter sweeps, seed
+ensembles, short equilibrations — so this module gives the
+:class:`~repro.replica.session.SessionManager` a catalog of buildable job
+specs.  A :class:`ReplicaSpec` names a workload family from
+:data:`REPLICA_FAMILIES`, the size (fcc cells), the step budget, and an
+optional per-replica velocity seed; ``build()`` returns a fresh, fully
+configured single-rank :class:`~repro.core.Lammps` ready for
+``ReplicaBatch.add_replica``.
+
+Families are a closed set (each maps to a batchable pair style), so unknown
+names fail with the shared did-you-mean hint from
+:func:`repro.core.errors.unknown_choice`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import LammpsError, unknown_choice
+from repro.workloads.melt import MELT_TEMPLATE
+
+#: family name -> the pair style its replicas run (all batchable styles).
+REPLICA_FAMILIES = {
+    "melt": "lj/cut",
+    "eam_melt": "eam/fs",
+}
+
+
+@dataclass
+class ReplicaSpec:
+    """One submittable replica job.
+
+    ``seed`` (when given) re-draws the initial velocities after the
+    template's default, decorrelating replicas of the same family and size;
+    ``thermo`` sets the output interval (the session streams one event per
+    row, so small jobs usually want a small interval).
+    """
+
+    family: str = "melt"
+    cells: int = 3
+    steps: int = 100
+    thermo: int = 100
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.family not in REPLICA_FAMILIES:
+            raise LammpsError(
+                unknown_choice(
+                    "replica family", self.family, tuple(sorted(REPLICA_FAMILIES))
+                )
+            )
+        if self.cells < 1:
+            raise LammpsError("replica spec needs cells >= 1")
+        if self.steps < 0:
+            raise LammpsError("replica spec needs steps >= 0")
+
+    @property
+    def pair_style(self) -> str:
+        return REPLICA_FAMILIES[self.family]
+
+    @property
+    def natoms(self) -> int:
+        return 4 * self.cells**3  # fcc
+
+    def build(self):
+        """A fresh single-rank Lammps at this spec's ready-to-run state."""
+        from repro.core import Lammps
+
+        lmp = Lammps()
+        lmp.commands_string(
+            MELT_TEMPLATE.format(cells=self.cells, pair_style=self.pair_style)
+        )
+        if self.seed is not None:
+            lmp.commands_string(f"velocity all create 1.44 {self.seed}")
+        lmp.commands_string(f"thermo {self.thermo}")
+        lmp.thermo.quiet = True
+        return lmp
+
+
+def build_replica(family: str = "melt", **kwargs):
+    """Catalog shortcut: validate, build, return the Lammps instance."""
+    return ReplicaSpec(family=family, **kwargs).build()

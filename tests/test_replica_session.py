@@ -1,0 +1,279 @@
+"""Async session manager: submit/stream/cancel, sharding, fail-open.
+
+One event loop, many small jobs: :class:`~repro.replica.session.SessionManager`
+shards submissions into batches by (family, pair style, size class), steps
+them cooperatively, and streams each replica's thermo rows to its own
+session.  These tests drive the service through ``asyncio.run`` — no
+threads — and assert the scheduling contracts: correct sharding, live
+cancel and mid-flight join, occupancy/jobs gauges, and the fail-open
+policy when a member's rebuild blows up.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.core.errors import LammpsError
+from repro.core.thermo import ThermoRecord
+from repro.replica import ReplicaJobError, SessionManager
+from repro.replica.session import size_class
+from repro.tools import metrics
+from repro.tools.metrics import MetricsRegistry
+from repro.workloads import ReplicaSpec
+
+
+def spec(cells=2, steps=30, thermo=10, seed=None):
+    return ReplicaSpec(
+        family="melt", cells=cells, steps=steps, thermo=thermo, seed=seed
+    )
+
+
+@pytest.fixture()
+def sink():
+    reg = metrics.attach_sink(MetricsRegistry())
+    yield reg
+    metrics.detach_sink(reg)
+
+
+# ------------------------------------------------------------ happy path
+def test_submit_stream_result():
+    async def main():
+        mgr = SessionManager()
+        sessions = [mgr.submit(spec(seed=87287 + k)) for k in range(3)]
+        runner = asyncio.ensure_future(mgr.run_until_idle())
+        events = [[ev async for ev in s] for s in sessions]
+        done = [await e for e in map(_collect, events)]
+        await runner
+        return sessions, done
+
+    sessions, done = asyncio.run(main())
+    for s, (rows, payload) in zip(sessions, done):
+        assert s.status == "finished"
+        # step-0 row plus one per thermo interval: 0, 10, 20, 30
+        assert [r.step for r in rows] == [0, 10, 20, 30]
+        assert all(isinstance(r, ThermoRecord) for r in rows)
+        assert payload["status"] == "finished"
+        assert payload["step"] == 30
+        assert payload["lmp"].atom.nlocal == 32
+
+
+async def _collect(aiter_events):
+    rows, payload = [], None
+    for kind, item in aiter_events:
+        if kind == "thermo":
+            rows.append(item)
+        elif kind == "done":
+            payload = item
+        else:
+            raise AssertionError(f"unexpected event {kind}")
+    return rows, payload
+
+
+def test_streamed_rows_match_solo_run():
+    async def main():
+        mgr = SessionManager()
+        s = mgr.submit(spec(seed=4242))
+        runner = asyncio.ensure_future(mgr.run_until_idle())
+        rows, payload = await _collect([ev async for ev in s])
+        await runner
+        return rows, payload
+
+    rows, payload = asyncio.run(main())
+    solo = spec(seed=4242).build()
+    solo.run(30)
+    assert [(r.step, r.values) for r in rows] == [
+        (r.step, r.values) for r in solo.thermo.history
+    ]
+    n = solo.atom.nlocal
+    assert np.array_equal(payload["lmp"].atom.x[:n], solo.atom.x[:n])
+
+
+# --------------------------------------------------------------- sharding
+def test_shards_by_size_class():
+    async def main():
+        mgr = SessionManager()
+        for k in range(2):
+            mgr.submit(spec(cells=2, seed=87287 + k))  # 32 atoms
+        mgr.submit(spec(cells=3, seed=555))  # 108 atoms
+        mgr._admit_pending()
+        keys = sorted(mgr.batches)
+        sizes = {key: len(mgr.batches[key]) for key in keys}
+        await mgr.run_until_idle()
+        return keys, sizes
+
+    keys, sizes = asyncio.run(main())
+    assert keys == [
+        ("melt", "lj/cut", size_class(32)),
+        ("melt", "lj/cut", size_class(108)),
+    ]
+    assert size_class(32) == 32 and size_class(108) == 128
+    assert sizes[keys[0]] == 2 and sizes[keys[1]] == 1
+
+
+def test_max_batch_defers_admission():
+    async def main():
+        mgr = SessionManager(max_batch=2)
+        sessions = [mgr.submit(spec(seed=87287 + k)) for k in range(3)]
+        mgr._admit_pending()
+        deferred = len(mgr._pending)
+        await mgr.run_until_idle()
+        return sessions, deferred
+
+    sessions, deferred = asyncio.run(main())
+    assert deferred == 1  # third job waited for a slot
+    assert all(s.status == "finished" for s in sessions)
+
+
+# ----------------------------------------------------------------- cancel
+def test_cancel_mid_flight():
+    async def main():
+        mgr = SessionManager()
+        keep = mgr.submit(spec(steps=60, seed=1))
+        drop = mgr.submit(spec(steps=60, seed=2))
+        runner = asyncio.ensure_future(mgr.run_until_idle())
+        kinds = []
+        async for kind, payload in drop:
+            kinds.append(kind)
+            if kind == "thermo" and payload.step >= 10:
+                drop.cancel()
+            if kind == "done":
+                terminal = payload
+        keep_rows, keep_done = await _collect([ev async for ev in keep])
+        await runner
+        return kinds, terminal, keep_rows, keep_done
+
+    kinds, terminal, keep_rows, keep_done = asyncio.run(main())
+    assert terminal["status"] == "cancelled"
+    assert terminal["step"] < 60  # stopped early, state synced at that step
+    assert kinds[-1] == "done"
+    # the surviving job is untouched: full row set, finished cleanly
+    assert [r.step for r in keep_rows] == [0, 10, 20, 30, 40, 50, 60]
+    assert keep_done["status"] == "finished"
+
+
+def test_cancel_while_pending_never_builds():
+    async def main():
+        mgr = SessionManager()
+        s = mgr.submit(spec())
+        s.cancel()
+        await mgr.run_until_idle()
+        return s, await s.result()
+
+    s, payload = asyncio.run(main())
+    assert s.status == "cancelled"
+    assert payload["lmp"] is None
+
+
+# ---------------------------------------------------------------- metrics
+def test_occupancy_and_jobs_gauges(sink):
+    async def main():
+        mgr = SessionManager()
+        for k in range(3):
+            mgr.submit(spec(seed=87287 + k))
+        mgr._admit_pending()
+        active = sink.gauge("replica_jobs_active").get()
+        await mgr.run_until_idle()
+        return active
+
+    active_after_admit = asyncio.run(main())
+    assert active_after_admit == 3.0
+    assert sink.gauge("replica_jobs_active").get() == 0.0
+    label = f"melt/lj/cut/{size_class(32)}"
+    occupancy = sink.gauge("replica_batch_occupancy").get(batch=label)
+    assert occupancy == 0.0  # batch fully drained at idle
+    epochs = sink.histogram("replica_epoch_seconds").series(batch=label)
+    assert epochs is not None and epochs.count > 0
+
+
+def test_batch_walls_attribute_to_shard_label(sink):
+    asyncio.run(_run_one())
+    prom = sink.to_prometheus()
+    assert "replica_batch_occupancy" in prom
+    label = f"melt/lj/cut/{size_class(32)}"
+    # step walls and counters attribute to the shard, not to any one replica
+    assert sink.counter("steps_total").get(rank=label) == 30.0
+    series = sink.histogram("step_wall_seconds").series(rank=label)
+    assert series is not None and series.count == 30
+    assert any(label in line and "step_wall_seconds" in line
+               for line in prom.splitlines())
+
+
+async def _run_one():
+    mgr = SessionManager()
+    mgr.submit(spec(seed=99))
+    await mgr.run_until_idle()
+
+
+# --------------------------------------------------------------- failures
+def _bomb(job):
+    def boom():
+        raise LammpsError("injected rebuild failure")
+        yield  # pragma: no cover — generator shape, never reached
+
+    job.lmp.rebuild_gen = boom
+    job.lmp.neighbor.decide = lambda *a, **kw: True
+
+
+def test_fail_open_routes_error_and_keeps_batch_alive():
+    async def main():
+        mgr = SessionManager()
+        good = mgr.submit(spec(steps=40, seed=7))
+        bad = mgr.submit(spec(steps=40, seed=8))
+        mgr._admit_pending()
+        job = next(
+            j for js in mgr._jobs.values() for j in js if j.session is bad
+        )
+        _bomb(job)
+        runner = asyncio.ensure_future(mgr.run_until_idle())
+        with pytest.raises(ReplicaJobError, match="injected"):
+            await bad.result()
+        rows, payload = await _collect([ev async for ev in good])
+        await runner
+        return bad, good, rows, payload
+
+    bad, good, rows, payload = asyncio.run(main())
+    assert bad.status == "error"
+    assert isinstance(bad.error, ReplicaJobError)
+    assert bad.error.sid == bad.sid and bad.error.family == "melt"
+    # the healthy job is bitwise-undisturbed by its shard-mate's death
+    assert good.status == "finished"
+    solo = spec(steps=40, seed=7).build()
+    solo.run(40)
+    n = solo.atom.nlocal
+    assert np.array_equal(payload["lmp"].atom.x[:n], solo.atom.x[:n])
+    assert [r.step for r in rows] == [0, 10, 20, 30, 40]
+
+
+def test_raise_policy_propagates():
+    async def main():
+        mgr = SessionManager(on_failure="raise")
+        mgr.submit(spec(steps=40, seed=7))
+        bad = mgr.submit(spec(steps=40, seed=8))
+        mgr._admit_pending()
+        job = next(
+            j for js in mgr._jobs.values() for j in js if j.session is bad
+        )
+        _bomb(job)
+        await mgr.run_until_idle()
+
+    with pytest.raises(ReplicaJobError, match="injected"):
+        asyncio.run(main())
+
+
+# ------------------------------------------------------------- validation
+def test_unknown_failure_policy_did_you_mean():
+    with pytest.raises(LammpsError, match="fail_open"):
+        SessionManager(on_failure="fail_opne")
+
+
+def test_unknown_family_did_you_mean():
+    with pytest.raises(LammpsError, match="melt"):
+        ReplicaSpec(family="meltt")
+
+
+def test_invalid_max_batch():
+    with pytest.raises(LammpsError, match="max_batch"):
+        SessionManager(max_batch=0)
